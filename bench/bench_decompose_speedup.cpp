@@ -1,0 +1,79 @@
+// E18 (ablation): exact divide-and-conquer decomposition at full-switch
+// gap columns. On long identically segmented channels with clustered
+// workloads, splitting turns one big LP into several small ones; the
+// result is provably the same (the split is exact), the wall time is not.
+#include <chrono>
+#include <iostream>
+#include <random>
+
+#include "segroute.h"
+
+using namespace segroute;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Clustered workload: nets confined to windows around cluster centers,
+/// leaving gap columns between clusters.
+ConnectionSet clustered_workload(Column width, int clusters, int per_cluster,
+                                 Column spread, std::mt19937_64& rng) {
+  ConnectionSet cs;
+  for (int c = 0; c < clusters; ++c) {
+    const Column center =
+        static_cast<Column>((2 * c + 1) * width / (2 * clusters));
+    for (int i = 0; i < per_cluster; ++i) {
+      const Column l = std::max<Column>(
+          1, center - static_cast<Column>(rng() % static_cast<unsigned>(spread)));
+      const Column r = std::min<Column>(
+          width, center + static_cast<Column>(rng() % static_cast<unsigned>(spread)));
+      cs.add(std::min(l, r), std::max(l, r));
+    }
+  }
+  return cs;
+}
+
+}  // namespace
+
+int main() {
+  std::mt19937_64 rng(1818);
+  std::cout << "E18 — exact decomposition ablation (identical tracks, "
+               "clustered workloads)\n\n";
+
+  io::Table t({"M", "parts found", "routed", "direct LP ms",
+               "decomposed LP ms", "same answer"});
+  const Column width = 240;
+  std::vector<Column> cuts;
+  for (Column c = 8; c < width; c += 8) cuts.push_back(c);
+
+  for (int clusters : {2, 4, 6, 8}) {
+    const auto ch = SegmentedChannel::identical(10, width, cuts);
+    const auto cs = clustered_workload(width, clusters, 7, 12, rng);
+
+    auto t0 = std::chrono::steady_clock::now();
+    const auto direct = alg::lp_route(ch, cs);
+    const double direct_ms = ms_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    const auto split = alg::decompose_route(
+        ch, cs, [](const SegmentedChannel& c, const ConnectionSet& s) {
+          return alg::lp_route(c, s);
+        });
+    const double split_ms = ms_since(t0);
+
+    t.add_row({io::Table::num(cs.size()),
+               io::Table::num(static_cast<int>(split.stats.nodes_per_level.size())),
+               split.success ? "yes" : "no", io::Table::num(direct_ms, 1),
+               io::Table::num(split_ms, 1),
+               direct.success == split.success ? "yes" : "NO"});
+  }
+  std::cout << t.str()
+            << "\nReading: the split is exact (answers always agree) and "
+               "the decomposed LP scales with the largest part instead of "
+               "the whole channel.\n";
+  return 0;
+}

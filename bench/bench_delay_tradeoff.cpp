@@ -1,0 +1,127 @@
+// E14 (Section I / Fig. 2 trade-off, quantified): tracks vs delay for the
+// channel organizations the paper compares. The whole point of segmented
+// channels is the middle ground — near-density track counts AND bounded
+// delay. Also sweeps K to show the paper's "simple limits on the number
+// of segments joined" delay guarantee.
+#include <functional>
+#include <iostream>
+#include <random>
+
+#include "segroute.h"
+
+using namespace segroute;
+
+namespace {
+
+struct SchemeResult {
+  int tracks = -1;
+  fpga::DelayStats delay;
+};
+
+SchemeResult evaluate(const ConnectionSet& cs, int limit, int max_segments,
+                      const std::function<SegmentedChannel(int)>& make) {
+  SchemeResult res;
+  for (int t = std::max(1, cs.density()); t <= limit; ++t) {
+    const auto ch = make(t);
+    alg::DpOptions o;
+    o.max_segments = max_segments;
+    const auto r = alg::dp_route(ch, cs, o);
+    if (r.success) {
+      res.tracks = t;
+      res.delay = fpga::routing_delay(ch, cs, r.routing);
+      return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  std::mt19937_64 rng(1414);
+  const Column width = 48;
+  const int trials = 10;
+
+  std::cout << "E14 / Fig. 2 trade-off — tracks vs delay per channel "
+               "organization (avg over " << trials
+            << " workloads, M = 16, geometric lengths mean 6)\n\n";
+
+  io::Table t({"scheme", "avg tracks", "avg max delay", "avg mean delay",
+               "max switches on a net"});
+  struct Scheme {
+    std::string name;
+    int max_segments;
+    std::function<SegmentedChannel(int, Column)> make;
+  };
+  std::vector<ConnectionSet> samples;
+  for (int s = 0; s < 6; ++s) {
+    samples.push_back(gen::geometric_workload(24, width, 6.0, rng));
+  }
+  const std::vector<Scheme> schemes = {
+      {"unsegmented (2d)", 0,
+       [](int tt, Column w) { return SegmentedChannel::unsegmented(tt, w); }},
+      {"fully segmented (2c)", 0,
+       [](int tt, Column w) { return SegmentedChannel::fully_segmented(tt, w); }},
+      {"staggered 8, K free", 0,
+       [](int tt, Column w) { return gen::staggered_segmentation(tt, w, 8); }},
+      {"staggered 8, K = 2 (2f)", 2,
+       [](int tt, Column w) { return gen::staggered_segmentation(tt, w, 8); }},
+      {"designed, K = 2 (2e/f)", 2,
+       [&](int tt, Column w) { return gen::design_segmentation(tt, w, samples); }},
+  };
+
+  std::mt19937_64 wrng(99);
+  std::vector<ConnectionSet> workloads;
+  for (int i = 0; i < trials; ++i) {
+    workloads.push_back(gen::geometric_workload(16, width, 6.0, rng));
+  }
+  (void)wrng;
+
+  for (const Scheme& s : schemes) {
+    double tracks = 0, maxd = 0, meand = 0;
+    int switches = 0, solved = 0;
+    for (const auto& cs : workloads) {
+      const auto r = evaluate(cs, 64, s.max_segments,
+                              [&](int tt) { return s.make(tt, width); });
+      if (r.tracks < 0) continue;
+      ++solved;
+      tracks += r.tracks;
+      maxd += r.delay.max_delay;
+      meand += r.delay.mean_delay;
+      switches = std::max(switches, r.delay.max_switches);
+    }
+    if (solved == 0) continue;
+    t.add_row({s.name, io::Table::num(tracks / solved, 1),
+               io::Table::num(maxd / solved, 1),
+               io::Table::num(meand / solved, 1), io::Table::num(switches)});
+  }
+  std::cout << t.str() << "\n";
+
+  // K sweep on one scheme: the delay guarantee of bounded K.
+  io::Table k({"K", "avg tracks", "avg max delay", "max switches"});
+  for (int K : {1, 2, 3, 4, 0}) {
+    double tracks = 0, maxd = 0;
+    int switches = 0, solved = 0;
+    for (const auto& cs : workloads) {
+      const auto r = evaluate(cs, 64, K, [&](int tt) {
+        return gen::staggered_segmentation(tt, width, 6);
+      });
+      if (r.tracks < 0) continue;
+      ++solved;
+      tracks += r.tracks;
+      maxd += r.delay.max_delay;
+      switches = std::max(switches, r.delay.max_switches);
+    }
+    if (!solved) continue;
+    k.add_row({K == 0 ? "unlimited" : io::Table::num(K),
+               io::Table::num(tracks / solved, 1),
+               io::Table::num(maxd / solved, 1), io::Table::num(switches)});
+  }
+  std::cout << "K-segment sweep (staggered 6):\n" << k.str()
+            << "\nShape check (paper): unsegmented minimizes switches but "
+               "wastes tracks and loads full-width wire; fully segmented "
+               "matches density but pays a switch per column; segmented "
+               "channels with small K sit in the sweet spot, and growing K "
+               "trades a few tracks for bounded extra delay.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// E10 (Fig. 8): the narrated execution of the at-most-2-segments greedy —
+// c1 placed, c2 pooled, c3 tie-broken, pool flushed when |P| equals the
+// number of unoccupied tracks, then c4 placed.
+#include <iostream>
+
+#include "segroute.h"
+
+using namespace segroute;
+
+namespace {
+
+std::string kind_name(alg::Greedy2Event::Kind k) {
+  switch (k) {
+    case alg::Greedy2Event::Kind::AssignedSegment: return "assigned segment";
+    case alg::Greedy2Event::Kind::Pooled: return "pooled";
+    case alg::Greedy2Event::Kind::PoolFlushed: return "pool flushed";
+    case alg::Greedy2Event::Kind::FinalPoolAssign: return "final pool assign";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const auto ch = gen::fixtures::fig8_channel();
+  const auto cs = gen::fixtures::fig8_connections();
+  std::cout << "E10 / Fig. 8 — trace of the <=2-segments-per-track greedy\n\n"
+            << io::render(ch) << "\n"
+            << io::render(cs, ch.width()) << "\n";
+
+  std::vector<alg::Greedy2Event> events;
+  const auto r = alg::greedy2track_route(ch, cs, &events);
+
+  io::Table t({"step", "event", "connection", "track"});
+  int step = 1;
+  for (const auto& e : events) {
+    if (e.kind == alg::Greedy2Event::Kind::PoolFlushed ||
+        e.kind == alg::Greedy2Event::Kind::FinalPoolAssign) {
+      for (const auto& [c, tr] : e.flushed) {
+        t.add_row({io::Table::num(step), kind_name(e.kind), cs[c].name,
+                   "t" + std::to_string(tr + 1)});
+      }
+    } else {
+      t.add_row({io::Table::num(step), kind_name(e.kind), cs[e.conn].name,
+                 e.track == kNoTrack ? "-" : "t" + std::to_string(e.track + 1)});
+    }
+    ++step;
+  }
+  std::cout << t.str() << "\n";
+
+  if (r.success) {
+    std::cout << "Final routing:\n" << io::render(ch, cs, r.routing);
+  }
+  std::cout << "\nShape check (paper): c2 cannot use a single segment and "
+               "is pooled; once exactly one track remains unoccupied the "
+               "pool is flushed onto it; everything routes.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E17 (beyond the paper's sizes): heuristic routers on instances far past
+// the exact DP's comfort zone (T = 30 tracks, all segmented differently,
+// M up to 150). Workloads are routable by construction, so ground truth
+// is YES everywhere; the question is which heuristic finds a routing and
+// how fast.
+#include <chrono>
+#include <iostream>
+#include <random>
+
+#include "segroute.h"
+
+using namespace segroute;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::mt19937_64 rng(1717);
+  const Column width = 120;
+  const TrackId tracks = 30;
+  const int trials = 8;
+
+  std::cout << "E17 — heuristics at scale (T = " << tracks
+            << " staggered tracks, N = " << width
+            << ", routable-by-construction workloads, " << trials
+            << " trials per row)\n\n";
+
+  io::Table t({"M", "LP heuristic", "LP ms", "anneal", "anneal ms",
+               "online greedy+ripup", "online ms"});
+  for (int m : {60, 90, 120, 150}) {
+    int lp_ok = 0, an_ok = 0, on_ok = 0;
+    double lp_ms = 0, an_ms = 0, on_ms = 0;
+    for (int i = 0; i < trials; ++i) {
+      const auto ch = gen::staggered_segmentation(tracks, width, 15);
+      const auto cs = gen::routable_workload(ch, m, 10.0, rng);
+      if (cs.size() < m) continue;  // channel saturated; keep rows honest
+
+      auto t0 = std::chrono::steady_clock::now();
+      const auto lp = alg::lp_route(ch, cs);
+      lp_ms += ms_since(t0);
+      if (lp.success && validate(ch, cs, lp.routing)) ++lp_ok;
+
+      t0 = std::chrono::steady_clock::now();
+      alg::AnnealRouteOptions ao;
+      ao.iterations = 300000;
+      ao.restarts = 3;
+      ao.seed = static_cast<std::uint64_t>(i) * 7919 + 13;
+      const auto an = alg::anneal_route(ch, cs, ao);
+      an_ms += ms_since(t0);
+      if (an.success && validate(ch, cs, an.routing)) ++an_ok;
+
+      t0 = std::chrono::steady_clock::now();
+      alg::OnlineRouter router(ch);
+      bool all = true;
+      for (const Connection& c : cs.all()) {
+        if (!router.insert_with_ripup(c.left, c.right)) all = false;
+      }
+      on_ms += ms_since(t0);
+      if (all) {
+        const auto [scs, sr] = router.snapshot();
+        if (validate(ch, scs, sr)) ++on_ok;
+      }
+    }
+    t.add_row({io::Table::num(m),
+               io::Table::num(100.0 * lp_ok / trials, 0) + "%",
+               io::Table::num(lp_ms / trials, 1),
+               io::Table::num(100.0 * an_ok / trials, 0) + "%",
+               io::Table::num(an_ms / trials, 1),
+               io::Table::num(100.0 * on_ok / trials, 0) + "%",
+               io::Table::num(on_ms / trials, 1)});
+  }
+  std::cout << t.str()
+            << "\nReading: the LP heuristic stays near-perfect at the cost "
+               "of simplex time; annealing trades determinism for speed at "
+               "scale; the online greedy is the fastest and degrades first "
+               "as the channel tightens.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// E16 (capacity curves, extending E7): probability of successful routing
+// vs offered load for several track counts and segmentation schemes —
+// the channel-capacity characterization an FPGA architect reads off
+// before fixing T (companion papers [10], [11] report curves of this
+// kind for the Actel architecture).
+#include <iostream>
+#include <random>
+
+#include "segroute.h"
+
+using namespace segroute;
+
+int main() {
+  std::mt19937_64 rng(1616);
+  const Column width = 40;
+  const int trials = 40;
+
+  std::cout << "E16 — routability vs offered load (geometric lengths mean "
+               "6, " << trials << " trials per cell)\n\n";
+
+  for (const auto& [scheme, make] :
+       std::vector<std::pair<std::string,
+                             std::function<SegmentedChannel(int)>>>{
+           {"staggered len 8",
+            [&](int t) { return gen::staggered_segmentation(t, width, 8); }},
+           {"uniform len 8",
+            [&](int t) { return gen::uniform_segmentation(t, width, 8); }},
+           {"unsegmented",
+            [&](int t) { return SegmentedChannel::unsegmented(t, width); }}}) {
+    io::Table table({"M \\ T", "4", "6", "8", "10"});
+    for (int m : {6, 10, 14, 18, 22}) {
+      std::vector<std::string> row = {io::Table::num(m)};
+      for (int t : {4, 6, 8, 10}) {
+        const auto ch = make(t);
+        const double p = alg::routability(
+            ch,
+            [&](std::mt19937_64& r) {
+              return gen::geometric_workload(m, width, 6.0, r);
+            },
+            trials, rng);
+        row.push_back(io::Table::num(100.0 * p, 0) + "%");
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << scheme << ":\n" << table.str() << "\n";
+  }
+  std::cout << "Shape check: routability falls off with load and recovers "
+               "with tracks; staggered segmentation dominates identical "
+               "uniform tracks at every (M, T); unsegmented channels fall "
+               "off the earliest (one net per track).\n";
+  return 0;
+}

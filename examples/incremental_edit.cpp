@@ -1,0 +1,76 @@
+// Incremental design editing: the OnlineRouter inserting, removing and
+// rerouting connections the way an interactive FPGA tool does, with an
+// SVG snapshot of the final state written next to the binary.
+//
+// Run:  ./build/examples/incremental_edit  [output.svg]
+#include <fstream>
+#include <iostream>
+#include <random>
+
+#include "segroute.h"
+
+using namespace segroute;
+
+int main(int argc, char** argv) {
+  const auto channel = gen::staggered_segmentation(5, 32, 8);
+  alg::OnlineRouter router(channel);
+
+  std::cout << "Channel: 5 staggered tracks, 32 columns\n\n";
+
+  // A design session: place a first batch of nets.
+  std::mt19937_64 rng(7);
+  std::vector<ConnId> live;
+  for (int i = 0; i < 10; ++i) {
+    const Column l = 1 + static_cast<Column>(rng() % 28);
+    const Column r = std::min<Column>(32, l + 2 + static_cast<Column>(rng() % 8));
+    if (auto id = router.insert_with_ripup(l, r, "n" + std::to_string(i))) {
+      live.push_back(*id);
+      std::cout << "insert n" << i << " [" << l << "," << r << "] -> t"
+                << router.track_of(*id) + 1 << "\n";
+    } else {
+      std::cout << "insert n" << i << " [" << l << "," << r << "] -> DROPPED\n";
+    }
+  }
+
+  // An engineering change order: delete a few nets, add replacements.
+  std::cout << "\nECO: removing 3 nets, adding 3 longer ones\n";
+  for (int k = 0; k < 3 && !live.empty(); ++k) {
+    router.remove(live.back());
+    live.pop_back();
+  }
+  for (int i = 0; i < 3; ++i) {
+    const Column l = 1 + static_cast<Column>(rng() % 16);
+    const Column r = std::min<Column>(32, l + 10 + static_cast<Column>(rng() % 6));
+    if (auto id = router.insert_with_ripup(l, r, "eco" + std::to_string(i))) {
+      live.push_back(*id);
+      std::cout << "insert eco" << i << " [" << l << "," << r << "] -> t"
+                << router.track_of(*id) + 1 << "\n";
+    }
+  }
+
+  // Clean-up pass: let every net look for a snugger home.
+  std::cout << "\nReroute pass:\n";
+  for (ConnId id : live) {
+    const TrackId before = router.track_of(id);
+    const TrackId after = router.reroute(id);
+    if (before != after) {
+      std::cout << "  " << router.connection(id).name << ": t" << before + 1
+                << " -> t" << after + 1 << "\n";
+    }
+  }
+
+  const auto [cs, routing] = router.snapshot();
+  const auto verdict = validate(channel, cs, routing);
+  std::cout << "\nFinal state: " << cs.size() << " nets, valid = "
+            << (verdict ? "yes" : verdict.error) << "\n"
+            << io::render(channel, cs, routing);
+
+  const auto stats = utilization(channel, cs, routing);
+  std::cout << "wire utilization " << io::Table::num(100 * stats.wire_utilization(), 1)
+            << "%, overhang " << io::Table::num(stats.overhang(), 2) << "x\n";
+
+  const std::string path = argc > 1 ? argv[1] : "incremental_edit.svg";
+  std::ofstream(path) << io::to_svg(channel, cs, &routing);
+  std::cout << "SVG written to " << path << "\n";
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "alg/anneal_route.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/routing.h"
+
+namespace segroute::alg {
+
+namespace {
+
+/// Incremental conflict counter: per (track, segment) occupancy counts;
+/// cost = sum over segments of max(0, count - 1).
+class ConflictState {
+ public:
+  ConflictState(const SegmentedChannel& ch, const ConnectionSet& cs)
+      : ch_(&ch), cs_(&cs) {
+    counts_.resize(static_cast<std::size_t>(ch.num_tracks()));
+    for (TrackId t = 0; t < ch.num_tracks(); ++t) {
+      counts_[static_cast<std::size_t>(t)].assign(
+          static_cast<std::size_t>(ch.track(t).num_segments()), 0);
+    }
+  }
+
+  void add(ConnId i, TrackId t) {
+    auto [a, b] = ch_->track(t).span((*cs_)[i].left, (*cs_)[i].right);
+    for (SegId s = a; s <= b; ++s) {
+      int& c = counts_[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)];
+      if (++c > 1) ++cost_;
+    }
+  }
+
+  void remove(ConnId i, TrackId t) {
+    auto [a, b] = ch_->track(t).span((*cs_)[i].left, (*cs_)[i].right);
+    for (SegId s = a; s <= b; ++s) {
+      int& c = counts_[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)];
+      if (c-- > 1) --cost_;
+    }
+  }
+
+  [[nodiscard]] int cost() const { return cost_; }
+
+ private:
+  const SegmentedChannel* ch_;
+  const ConnectionSet* cs_;
+  std::vector<std::vector<int>> counts_;
+  int cost_ = 0;
+};
+
+}  // namespace
+
+RouteResult anneal_route(const SegmentedChannel& ch, const ConnectionSet& cs,
+                         const AnnealRouteOptions& opts) {
+  RouteResult res;
+  res.routing = Routing(cs.size());
+  if (cs.max_right() > ch.width()) {
+    res.note = "connections exceed channel width";
+    return res;
+  }
+  if (cs.size() == 0) {
+    res.success = true;
+    return res;
+  }
+
+  // Feasible track lists (K-segment pre-filter). A connection with no
+  // feasible track dooms the instance outright.
+  std::vector<std::vector<TrackId>> options(static_cast<std::size_t>(cs.size()));
+  for (ConnId i = 0; i < cs.size(); ++i) {
+    for (TrackId t = 0; t < ch.num_tracks(); ++t) {
+      if (opts.max_segments > 0 &&
+          ch.track(t).segments_spanned(cs[i].left, cs[i].right) >
+              opts.max_segments) {
+        continue;
+      }
+      options[static_cast<std::size_t>(i)].push_back(t);
+    }
+    if (options[static_cast<std::size_t>(i)].empty()) {
+      res.note = "connection " + std::to_string(i) +
+                 " has no track within the segment limit";
+      return res;
+    }
+  }
+
+  std::mt19937_64 rng(opts.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const double cooling = std::pow(
+      opts.t_end / opts.t_start, 1.0 / std::max(1, opts.iterations - 1));
+
+  for (int restart = 0; restart < std::max(1, opts.restarts); ++restart) {
+    // Random initial assignment.
+    std::vector<TrackId> assign(static_cast<std::size_t>(cs.size()));
+    ConflictState state(ch, cs);
+    for (ConnId i = 0; i < cs.size(); ++i) {
+      const auto& opt = options[static_cast<std::size_t>(i)];
+      assign[static_cast<std::size_t>(i)] =
+          opt[rng() % opt.size()];
+      state.add(i, assign[static_cast<std::size_t>(i)]);
+    }
+    double temp = opts.t_start;
+    for (int it = 0; it < opts.iterations && state.cost() > 0;
+         ++it, temp *= cooling) {
+      ++res.stats.iterations;
+      const ConnId i = static_cast<ConnId>(rng() % static_cast<unsigned>(cs.size()));
+      const auto& opt = options[static_cast<std::size_t>(i)];
+      if (opt.size() < 2) continue;
+      const TrackId from = assign[static_cast<std::size_t>(i)];
+      TrackId to = opt[rng() % opt.size()];
+      if (to == from) continue;
+      const int before = state.cost();
+      state.remove(i, from);
+      state.add(i, to);
+      const int delta = state.cost() - before;
+      if (delta <= 0 || unit(rng) < std::exp(-delta / temp)) {
+        assign[static_cast<std::size_t>(i)] = to;  // accept
+      } else {
+        state.remove(i, to);  // revert
+        state.add(i, from);
+      }
+    }
+    if (state.cost() == 0) {
+      for (ConnId i = 0; i < cs.size(); ++i) {
+        res.routing.assign(i, assign[static_cast<std::size_t>(i)]);
+      }
+      res.success = true;
+      return res;
+    }
+  }
+  res.note = "no conflict-free assignment found (" +
+             std::to_string(std::max(1, opts.restarts)) + " restarts)";
+  return res;
+}
+
+}  // namespace segroute::alg

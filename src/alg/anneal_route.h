@@ -1,0 +1,36 @@
+// Simulated-annealing router for instance sizes where the exact DP's
+// frontier count explodes (many tracks segmented many different ways).
+// State: every connection assigned to some track, conflicts allowed;
+// cost: number of segment over-subscriptions; moves: reassign one
+// connection to another track. Reaches cost 0 == a valid routing.
+//
+// This is a *heuristic*: it can fail on routable instances (rarely, with
+// enough restarts) and proves nothing on unroutable ones — tests compare
+// it against the exact routers on small instances and against the LP
+// heuristic at scale.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "alg/result.h"
+#include "core/channel.h"
+#include "core/connection.h"
+
+namespace segroute::alg {
+
+struct AnnealRouteOptions {
+  int max_segments = 0;        // K-segment limit (0 = unlimited)
+  int iterations = 200000;     // per restart
+  int restarts = 3;
+  double t_start = 2.0;
+  double t_end = 0.01;
+  std::uint64_t seed = 0xa11ea1u;
+};
+
+/// Anneals toward a conflict-free assignment. stats.iterations counts
+/// total moves tried across restarts.
+RouteResult anneal_route(const SegmentedChannel& ch, const ConnectionSet& cs,
+                         const AnnealRouteOptions& opts = {});
+
+}  // namespace segroute::alg

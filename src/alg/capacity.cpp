@@ -1,0 +1,84 @@
+#include "alg/capacity.h"
+
+#include <algorithm>
+
+#include "alg/dp.h"
+
+namespace segroute::alg {
+
+namespace {
+
+bool routes(const SegmentedChannel& ch, const ConnectionSet& cs,
+            const CapacityOptions& opts) {
+  DpOptions o;
+  o.max_segments = opts.max_segments;
+  return dp_route(ch, cs, o).success;
+}
+
+}  // namespace
+
+std::optional<int> min_tracks(const ConnectionSet& cs,
+                              const ChannelFactory& make,
+                              const CapacityOptions& opts,
+                              bool assume_monotone) {
+  const int lo_bound = std::max(1, cs.density());
+  if (assume_monotone) {
+    // Find a routable upper end by doubling, then binary search.
+    int hi = lo_bound;
+    while (hi <= opts.track_limit && !routes(make(hi), cs, opts)) hi *= 2;
+    if (hi > opts.track_limit) {
+      if (!routes(make(opts.track_limit), cs, opts)) return std::nullopt;
+      hi = opts.track_limit;
+    }
+    int lo = lo_bound;
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      if (routes(make(mid), cs, opts)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+  for (int t = lo_bound; t <= opts.track_limit; ++t) {
+    if (routes(make(t), cs, opts)) return t;
+  }
+  return std::nullopt;
+}
+
+int max_routable_prefix(const SegmentedChannel& ch, const ConnectionSet& cs,
+                        const CapacityOptions& opts) {
+  auto prefix = [&](int m) {
+    ConnectionSet sub;
+    for (ConnId i = 0; i < m; ++i) {
+      sub.add(cs[i].left, cs[i].right, cs[i].name);
+    }
+    return sub;
+  };
+  int lo = 0, hi = cs.size();
+  while (lo < hi) {
+    const int mid = lo + (hi - lo + 1) / 2;
+    if (routes(ch, prefix(mid), opts)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+double routability(const SegmentedChannel& ch,
+                   const std::function<ConnectionSet(std::mt19937_64&)>& draw,
+                   int trials, std::mt19937_64& rng,
+                   const CapacityOptions& opts) {
+  if (trials <= 0) return 0.0;
+  int ok = 0;
+  for (int i = 0; i < trials; ++i) {
+    const ConnectionSet cs = draw(rng);
+    if (cs.max_right() <= ch.width() && routes(ch, cs, opts)) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(trials);
+}
+
+}  // namespace segroute::alg

@@ -1,0 +1,52 @@
+// Channel-capacity analysis utilities: the questions an FPGA architect
+// asks of a segmentation scheme ("how many tracks does this workload
+// need?", "how much load does this channel take?") — the engineering
+// loop behind the companion papers [10], [11] and this paper's Fig. 2.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <random>
+
+#include "alg/result.h"
+#include "core/channel.h"
+#include "core/connection.h"
+
+namespace segroute::alg {
+
+/// Builds a channel with the given number of tracks (and this library's
+/// fixed width per scheme). Used by the capacity searches below.
+using ChannelFactory = std::function<SegmentedChannel(int tracks)>;
+
+struct CapacityOptions {
+  /// K-segment limit (0 = unlimited).
+  int max_segments = 0;
+  /// Upper bound on tracks tried before giving up.
+  int track_limit = 128;
+};
+
+/// Smallest track count for which `make(t)` routes `cs` (DP router), or
+/// nullopt if none within opts.track_limit. Routability is monotone in
+/// the track count for every factory produced by gen/segmentation.h
+/// (adding a track never removes capacity), so binary search applies —
+/// but monotonicity is NOT guaranteed for arbitrary factories (a factory
+/// may re-segment existing tracks as t grows), so a linear scan from the
+/// density lower bound is used unless `assume_monotone` is set.
+std::optional<int> min_tracks(const ConnectionSet& cs, const ChannelFactory& make,
+                              const CapacityOptions& opts = {},
+                              bool assume_monotone = false);
+
+/// Largest prefix (in the given order) of `cs` that routes in `ch`.
+/// Monotone by construction — removing the last connection keeps the
+/// remaining prefix routable — so binary search is sound here.
+int max_routable_prefix(const SegmentedChannel& ch, const ConnectionSet& cs,
+                        const CapacityOptions& opts = {});
+
+/// Monte-Carlo routability estimate: fraction of `trials` workloads drawn
+/// from `draw` that route in `ch`.
+double routability(const SegmentedChannel& ch,
+                   const std::function<ConnectionSet(std::mt19937_64&)>& draw,
+                   int trials, std::mt19937_64& rng,
+                   const CapacityOptions& opts = {});
+
+}  // namespace segroute::alg

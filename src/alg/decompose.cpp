@@ -1,0 +1,88 @@
+#include "alg/decompose.h"
+
+#include <algorithm>
+
+namespace segroute::alg {
+
+std::vector<Column> safe_split_columns(const SegmentedChannel& ch,
+                                       const ConnectionSet& cs) {
+  const Column N = ch.width();
+  // all_switch[c] == true if every track has a switch between c and c+1.
+  std::vector<bool> all_switch(static_cast<std::size_t>(N) + 1, true);
+  for (Column c = 1; c < N; ++c) {
+    for (TrackId t = 0; t < ch.num_tracks(); ++t) {
+      const Track& tr = ch.track(t);
+      if (tr.segment_at(c) == tr.segment_at(c + 1)) {
+        all_switch[static_cast<std::size_t>(c)] = false;
+        break;
+      }
+    }
+  }
+  // crossed[c] == true if some connection spans c -> c+1.
+  std::vector<bool> crossed(static_cast<std::size_t>(N) + 1, false);
+  for (const Connection& conn : cs.all()) {
+    for (Column c = conn.left; c < conn.right; ++c) {
+      crossed[static_cast<std::size_t>(c)] = true;
+    }
+  }
+  std::vector<Column> cuts;
+  for (Column c = 1; c < N; ++c) {
+    if (all_switch[static_cast<std::size_t>(c)] &&
+        !crossed[static_cast<std::size_t>(c)]) {
+      cuts.push_back(c);
+    }
+  }
+  return cuts;
+}
+
+std::vector<std::vector<ConnId>> split_parts(const SegmentedChannel& ch,
+                                             const ConnectionSet& cs) {
+  const auto cuts = safe_split_columns(ch, cs);
+  std::vector<std::vector<ConnId>> parts(cuts.size() + 1);
+  for (ConnId i = 0; i < cs.size(); ++i) {
+    // The part index is the number of cuts strictly left of the
+    // connection (a connection never spans a cut, so left is enough).
+    const std::size_t part = static_cast<std::size_t>(
+        std::upper_bound(cuts.begin(), cuts.end(), cs[i].left - 1) -
+        cuts.begin());
+    parts[part].push_back(i);
+  }
+  // Drop empty parts (cuts through empty regions).
+  std::vector<std::vector<ConnId>> nonempty;
+  for (auto& p : parts) {
+    if (!p.empty()) nonempty.push_back(std::move(p));
+  }
+  return nonempty;
+}
+
+RouteResult decompose_route(const SegmentedChannel& ch,
+                            const ConnectionSet& cs, const SubRouter& route) {
+  RouteResult res;
+  res.routing = Routing(cs.size());
+  if (cs.max_right() > ch.width()) {
+    res.note = "connections exceed channel width";
+    return res;
+  }
+  const auto parts = split_parts(ch, cs);
+  for (const auto& ids : parts) {
+    ConnectionSet sub;
+    for (ConnId i : ids) {
+      sub.add(cs[i].left, cs[i].right, cs[i].name);
+    }
+    const RouteResult r = route(ch, sub);
+    res.stats.iterations += r.stats.iterations;
+    res.stats.nodes_per_level.push_back(ids.size());
+    if (!r.success) {
+      res.note = "part of " + std::to_string(ids.size()) +
+                 " connections failed: " + r.note;
+      return res;
+    }
+    for (ConnId k = 0; k < sub.size(); ++k) {
+      res.routing.assign(ids[static_cast<std::size_t>(k)], r.routing.track_of(k));
+    }
+  }
+  res.success = true;
+  return res;
+}
+
+}  // namespace segroute::alg

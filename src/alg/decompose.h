@@ -1,0 +1,43 @@
+// Divide-and-conquer wrapper: split a routing problem at columns that no
+// connection crosses AND where every track has a switch, route the
+// independent parts separately, and stitch the assignments back together.
+//
+// Soundness: at such a column the two sides share no connection span and
+// no segment, so any combination of per-part valid routings is a valid
+// routing of the whole — the split is exact, not heuristic. The payoff
+// is for sub-routers whose cost is superlinear in M (the LP heuristic) or
+// whose graph width grows with instance span (generalized DP).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "alg/result.h"
+#include "core/channel.h"
+#include "core/connection.h"
+
+namespace segroute::alg {
+
+/// A sub-router: routes `part` (a subset of connections, original
+/// coordinates) on the full channel.
+using SubRouter = std::function<RouteResult(const SegmentedChannel&,
+                                            const ConnectionSet&)>;
+
+/// Columns c such that splitting between c and c+1 is exact: every track
+/// has a switch after c, and no connection of `cs` spans c -> c+1.
+std::vector<Column> safe_split_columns(const SegmentedChannel& ch,
+                                       const ConnectionSet& cs);
+
+/// Partition of the connection ids into independent parts (by the safe
+/// split columns). Parts are ordered left to right; every connection
+/// appears exactly once.
+std::vector<std::vector<ConnId>> split_parts(const SegmentedChannel& ch,
+                                             const ConnectionSet& cs);
+
+/// Routes each part with `route` and merges. Fails (with the sub-router's
+/// note) as soon as one part fails. stats.nodes_per_level reports one
+/// entry per part: that part's connection count.
+RouteResult decompose_route(const SegmentedChannel& ch,
+                            const ConnectionSet& cs, const SubRouter& route);
+
+}  // namespace segroute::alg

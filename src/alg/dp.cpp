@@ -1,0 +1,248 @@
+#include "alg/dp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "core/routing.h"
+
+namespace segroute::alg {
+
+namespace {
+
+/// FNV-1a over the frontier vector.
+struct FrontierHash {
+  std::size_t operator()(const std::vector<Column>& v) const {
+    std::uint64_t h = 1469598103934665603ull;
+    for (Column c : v) {
+      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(c));
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct Node {
+  std::vector<Column> frontier;  // grouped-by-class order, sorted in-class
+  std::int64_t parent = -1;
+  int edge_class = -1;  // class the connection was assigned to
+  double weight = 0.0;  // total weight of best path here (Problem 3)
+};
+
+}  // namespace
+
+RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
+                     const DpOptions& opts) {
+  RouteResult res;
+  res.routing = Routing(cs.size());
+  if (cs.max_right() > ch.width()) {
+    res.note = "connections exceed channel width";
+    return res;
+  }
+
+  const TrackId T = ch.num_tracks();
+
+  // Build track classes: segmentation types if canonicalizing, singletons
+  // otherwise. Tracks are regrouped so each class occupies a contiguous
+  // range of frontier positions.
+  std::vector<std::vector<TrackId>> class_tracks;
+  if (opts.canonicalize_types) {
+    class_tracks.resize(static_cast<std::size_t>(ch.num_types()));
+    for (TrackId t = 0; t < T; ++t) {
+      class_tracks[static_cast<std::size_t>(ch.type_of()[static_cast<std::size_t>(t)])]
+          .push_back(t);
+    }
+  } else {
+    class_tracks.resize(static_cast<std::size_t>(T));
+    for (TrackId t = 0; t < T; ++t) class_tracks[static_cast<std::size_t>(t)] = {t};
+  }
+  const int num_classes = static_cast<int>(class_tracks.size());
+  std::vector<int> class_begin(static_cast<std::size_t>(num_classes) + 1, 0);
+  for (int c = 0; c < num_classes; ++c) {
+    class_begin[static_cast<std::size_t>(c) + 1] =
+        class_begin[static_cast<std::size_t>(c)] +
+        static_cast<int>(class_tracks[static_cast<std::size_t>(c)].size());
+  }
+  // Representative track per class (identical segmentation within class).
+  std::vector<const Track*> class_track(static_cast<std::size_t>(num_classes));
+  for (int c = 0; c < num_classes; ++c) {
+    class_track[static_cast<std::size_t>(c)] =
+        &ch.track(class_tracks[static_cast<std::size_t>(c)].front());
+  }
+
+  const std::vector<ConnId> order = cs.sorted_by_left();
+  const ConnId M = cs.size();
+  const bool optimizing = opts.weight.has_value();
+
+  std::vector<Node> nodes;
+  nodes.reserve(1024);
+  // Root: every track free; normalized w.r.t. the first connection's left.
+  const Column L0 = M > 0 ? cs[order[0]].left : ch.width() + 1;
+  nodes.push_back(Node{std::vector<Column>(static_cast<std::size_t>(T), L0),
+                       -1, -1, 0.0});
+  std::vector<std::int64_t> level = {0};
+
+  res.stats.nodes_per_level.push_back(1);
+
+  for (ConnId step = 0; step < M; ++step) {
+    const Connection& conn = cs[order[static_cast<std::size_t>(step)]];
+    const Column L = conn.left;  // frontier entries are normalized to >= L
+    const Column Lnext = (step + 1 < M)
+                             ? cs[order[static_cast<std::size_t>(step) + 1]].left
+                             : ch.width() + 1;
+    std::unordered_map<std::vector<Column>, std::int64_t, FrontierHash> seen;
+    std::vector<std::int64_t> next_level;
+
+    for (std::int64_t ni : level) {
+      // NOTE: nodes may reallocate inside the loop; re-fetch by index.
+      for (int cl = 0; cl < num_classes; ++cl) {
+        const Column frontier_at_cl = [&] {
+          // A class can host the connection iff its smallest frontier entry
+          // equals L (entries are normalized to >= L, and availability
+          // means next-free-column <= left(conn) i.e. == L). In-class
+          // entries are sorted, so check the first.
+          return nodes[static_cast<std::size_t>(ni)]
+              .frontier[static_cast<std::size_t>(class_begin[static_cast<std::size_t>(cl)])];
+        }();
+        if (frontier_at_cl != L) continue;
+
+        const Track& tr = *class_track[static_cast<std::size_t>(cl)];
+        if (opts.max_segments > 0 &&
+            tr.segments_spanned(conn.left, conn.right) > opts.max_segments) {
+          continue;
+        }
+        double edge_w = 0.0;
+        if (optimizing) {
+          edge_w = (*opts.weight)(ch, conn,
+                                  class_tracks[static_cast<std::size_t>(cl)].front());
+          if (std::isinf(edge_w)) continue;
+        }
+
+        // New frontier: the class's first entry (== L) becomes the column
+        // after the last segment the connection occupies; then normalize
+        // everything to >= Lnext and re-sort the class range.
+        std::vector<Column> f = nodes[static_cast<std::size_t>(ni)].frontier;
+        const Column new_free =
+            tr.segment(tr.segment_at(conn.right)).right + 1;
+        f[static_cast<std::size_t>(class_begin[static_cast<std::size_t>(cl)])] =
+            new_free;
+        for (Column& v : f) v = std::max(v, Lnext);
+        for (int c2 = 0; c2 < num_classes; ++c2) {
+          std::sort(f.begin() + class_begin[static_cast<std::size_t>(c2)],
+                    f.begin() + class_begin[static_cast<std::size_t>(c2) + 1]);
+        }
+
+        const double new_w =
+            nodes[static_cast<std::size_t>(ni)].weight + edge_w;
+        auto it = seen.find(f);
+        if (it == seen.end()) {
+          if (nodes.size() >= opts.max_total_nodes) {
+            res.note = "assignment graph exceeded node limit";
+            return res;
+          }
+          const std::int64_t id = static_cast<std::int64_t>(nodes.size());
+          nodes.push_back(Node{f, ni, cl, new_w});
+          seen.emplace(std::move(f), id);
+          next_level.push_back(id);
+        } else if (optimizing &&
+                   new_w < nodes[static_cast<std::size_t>(it->second)].weight) {
+          Node& n = nodes[static_cast<std::size_t>(it->second)];
+          n.parent = ni;
+          n.edge_class = cl;
+          n.weight = new_w;
+        }
+      }
+    }
+    if (next_level.empty()) {
+      res.note = "no valid assignment of connection " +
+                 std::to_string(order[static_cast<std::size_t>(step)]) +
+                 " extends any frontier (level " + std::to_string(step + 1) +
+                 " empty)";
+      res.stats.nodes_per_level.push_back(0);
+      res.stats.total_nodes = nodes.size();
+      res.stats.max_level_nodes =
+          *std::max_element(res.stats.nodes_per_level.begin(),
+                            res.stats.nodes_per_level.end());
+      return res;
+    }
+    res.stats.nodes_per_level.push_back(next_level.size());
+    level = std::move(next_level);
+  }
+
+  res.stats.total_nodes = nodes.size();
+  res.stats.max_level_nodes = *std::max_element(
+      res.stats.nodes_per_level.begin(), res.stats.nodes_per_level.end());
+
+  // Pick the terminal node: all frontiers at level M are normalized to
+  // width+1 everywhere, so there is exactly one node; under Problem 3 the
+  // map already kept the minimum-weight path into it.
+  std::int64_t best = level.front();
+  for (std::int64_t ni : level) {
+    if (nodes[static_cast<std::size_t>(ni)].weight <
+        nodes[static_cast<std::size_t>(best)].weight) {
+      best = ni;
+    }
+  }
+
+  // Trace back the class choices, then replay forward against real tracks.
+  std::vector<int> class_choice(static_cast<std::size_t>(M), -1);
+  {
+    std::int64_t cur = best;
+    for (ConnId step = M; step-- > 0;) {
+      class_choice[static_cast<std::size_t>(step)] =
+          nodes[static_cast<std::size_t>(cur)].edge_class;
+      cur = nodes[static_cast<std::size_t>(cur)].parent;
+    }
+  }
+  std::vector<Column> next_free(static_cast<std::size_t>(T), 1);
+  for (ConnId step = 0; step < M; ++step) {
+    const ConnId ci = order[static_cast<std::size_t>(step)];
+    const Connection& conn = cs[ci];
+    const int cl = class_choice[static_cast<std::size_t>(step)];
+    TrackId chosen = kNoTrack;
+    for (TrackId t : class_tracks[static_cast<std::size_t>(cl)]) {
+      if (next_free[static_cast<std::size_t>(t)] <= conn.left) {
+        chosen = t;
+        break;
+      }
+    }
+    // Guaranteed by the DP invariant; guard anyway.
+    if (chosen == kNoTrack) {
+      res.note = "internal: replay failed";
+      res.success = false;
+      return res;
+    }
+    const Track& tr = ch.track(chosen);
+    next_free[static_cast<std::size_t>(chosen)] =
+        tr.segment(tr.segment_at(conn.right)).right + 1;
+    res.routing.assign(ci, chosen);
+  }
+
+  res.weight = optimizing ? nodes[static_cast<std::size_t>(best)].weight : 0.0;
+  res.success = true;
+  return res;
+}
+
+RouteResult dp_route_unlimited(const SegmentedChannel& ch,
+                               const ConnectionSet& cs) {
+  return dp_route(ch, cs, DpOptions{});
+}
+
+RouteResult dp_route_ksegment(const SegmentedChannel& ch,
+                              const ConnectionSet& cs, int k) {
+  DpOptions o;
+  o.max_segments = k;
+  return dp_route(ch, cs, o);
+}
+
+RouteResult dp_route_optimal(const SegmentedChannel& ch,
+                             const ConnectionSet& cs, const WeightFn& w,
+                             int max_segments) {
+  DpOptions o;
+  o.max_segments = max_segments;
+  o.weight = w;
+  return dp_route(ch, cs, o);
+}
+
+}  // namespace segroute::alg

@@ -1,0 +1,66 @@
+// The general dynamic-programming router of Section IV-B: builds the
+// assignment graph over routing frontiers and reads a routing (or a
+// minimum-weight routing) from it. Solves Problems 1, 2 and 3.
+//
+// Frontier representation. For a partial routing of the first i
+// connections (sorted by left end), the paper's frontier is x[j] = the
+// leftmost unoccupied column in track j at or to the right of
+// left(c_{i+1}). We store exactly that: per track, the next free column,
+// normalized to max(rightmost-occupied-column + 1, left(c_{i+1})).
+// Two partial routings with equal frontiers are interchangeable, so each
+// level of the assignment graph holds one node per distinct frontier
+// (Theorem 5: at most 2*T! of them; Theorem 6: (K+1)^T for K-segment).
+//
+// Track-type canonicalization (Theorem 7). Tracks with identical
+// segmentation are interchangeable, so frontier entries within one type
+// class are kept sorted; this collapses states that differ only by a
+// permutation of same-type tracks and yields the O((prod_i T_i)^K) bound.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "alg/result.h"
+#include "core/channel.h"
+#include "core/connection.h"
+#include "core/weights.h"
+
+namespace segroute::alg {
+
+struct DpOptions {
+  /// 0 = unlimited-segment routing (Problem 1); K > 0 = K-segment routing
+  /// (Problem 2).
+  int max_segments = 0;
+
+  /// If set, minimizes total weight (Problem 3). Assignments of weight
+  /// +infinity are forbidden. With `canonicalize_types` the weight must
+  /// depend on the track only through its segmentation (true of all
+  /// weights in core/weights.h).
+  std::optional<WeightFn> weight;
+
+  /// Merge frontiers equal up to permutation of identically segmented
+  /// tracks (Theorem 7). Disable to measure the raw Theorem-5/6 bounds.
+  bool canonicalize_types = true;
+
+  /// Safety valve: abort (success=false, note explains) if the assignment
+  /// graph exceeds this many nodes.
+  std::uint64_t max_total_nodes = 20'000'000;
+};
+
+/// Runs the assignment-graph DP. On success the routing is complete and
+/// valid; for Problem 3, `weight` is the minimum total weight.
+/// `stats.nodes_per_level` reports the size of each level (the paper's L
+/// is `stats.max_level_nodes`).
+RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
+                     const DpOptions& opts = {});
+
+/// Convenience wrappers.
+RouteResult dp_route_unlimited(const SegmentedChannel& ch,
+                               const ConnectionSet& cs);
+RouteResult dp_route_ksegment(const SegmentedChannel& ch,
+                              const ConnectionSet& cs, int k);
+RouteResult dp_route_optimal(const SegmentedChannel& ch,
+                             const ConnectionSet& cs, const WeightFn& w,
+                             int max_segments = 0);
+
+}  // namespace segroute::alg

@@ -1,0 +1,98 @@
+#include "alg/exhaustive.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/routing.h"
+
+namespace segroute::alg {
+
+namespace {
+
+struct Search {
+  const SegmentedChannel& ch;
+  const ConnectionSet& cs;
+  const ExhaustiveOptions& opts;
+  std::vector<ConnId> order;
+  Occupancy occ;
+  Routing current;
+  Routing best;
+  double best_weight = std::numeric_limits<double>::infinity();
+  bool found = false;
+  bool aborted = false;
+  std::uint64_t branches = 0;
+
+  Search(const SegmentedChannel& c, const ConnectionSet& s,
+         const ExhaustiveOptions& o)
+      : ch(c), cs(s), opts(o), order(s.sorted_by_left()), occ(c),
+        current(s.size()), best(s.size()) {}
+
+  void dfs(std::size_t depth, double weight_so_far) {
+    if (aborted) return;
+    if (++branches > opts.max_branches) {
+      aborted = true;
+      return;
+    }
+    if (opts.weight && weight_so_far >= best_weight) return;  // bound
+    if (depth == order.size()) {
+      found = true;
+      best = current;
+      if (opts.weight) {
+        best_weight = weight_so_far;
+      } else {
+        aborted = true;  // feasibility only: stop at the first solution
+      }
+      return;
+    }
+    const ConnId i = order[depth];
+    const Connection& c = cs[i];
+    for (TrackId t = 0; t < ch.num_tracks(); ++t) {
+      if (opts.max_segments > 0 &&
+          ch.track(t).segments_spanned(c.left, c.right) > opts.max_segments) {
+        continue;
+      }
+      double w = 0.0;
+      if (opts.weight) {
+        w = (*opts.weight)(ch, c, t);
+        if (std::isinf(w)) continue;
+      }
+      if (!occ.place(t, c.left, c.right, i)) continue;
+      current.assign(i, t);
+      dfs(depth + 1, weight_so_far + w);
+      current.unassign(i);
+      occ.remove(t, c.left, c.right);
+      if (aborted && !opts.weight) return;
+      if (aborted) return;
+    }
+  }
+};
+
+}  // namespace
+
+RouteResult exhaustive_route(const SegmentedChannel& ch,
+                             const ConnectionSet& cs,
+                             const ExhaustiveOptions& opts) {
+  RouteResult res;
+  res.routing = Routing(cs.size());
+  if (cs.max_right() > ch.width()) {
+    res.note = "connections exceed channel width";
+    return res;
+  }
+  Search s(ch, cs, opts);
+  s.dfs(0, 0.0);
+  res.stats.iterations = s.branches;
+  if (s.branches > opts.max_branches && !s.found) {
+    res.note = "branch limit exceeded";
+    return res;
+  }
+  if (!s.found) {
+    res.note = "no routing exists (search exhausted)";
+    return res;
+  }
+  res.success = true;
+  res.routing = s.best;
+  res.weight = opts.weight ? s.best_weight : 0.0;
+  return res;
+}
+
+}  // namespace segroute::alg

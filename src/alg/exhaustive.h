@@ -1,0 +1,28 @@
+// Exhaustive backtracking router — the test oracle. Exponential; only for
+// small instances (tests, example validation, bench ground truth).
+#pragma once
+
+#include <optional>
+
+#include "alg/result.h"
+#include "core/channel.h"
+#include "core/connection.h"
+#include "core/weights.h"
+
+namespace segroute::alg {
+
+struct ExhaustiveOptions {
+  int max_segments = 0;                 // 0 = unlimited
+  std::optional<WeightFn> weight;       // if set, find the minimum-weight routing
+  std::uint64_t max_branches = 50'000'000;  // safety valve
+};
+
+/// Tries every assignment by depth-first search (connections in left-end
+/// order). With `weight`, performs branch-and-bound for the optimum.
+/// stats.iterations counts explored branches. Throws nothing; exceeding
+/// max_branches returns success=false with a note.
+RouteResult exhaustive_route(const SegmentedChannel& ch,
+                             const ConnectionSet& cs,
+                             const ExhaustiveOptions& opts = {});
+
+}  // namespace segroute::alg

@@ -1,0 +1,218 @@
+#include "alg/generalized_dp.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace segroute::alg {
+
+namespace {
+
+/// Per-track frontier entry, normalized with respect to the column of the
+/// next unit piece (call it l):
+///  - next_free: first column whose segment is unoccupied (>= l);
+///  - occupant:  parent connection occupying the segment at column l, or
+///    kNoConn — kept only while that parent can still extend (right >= l);
+///  - prev: parent of the piece at column l-1 on this track (kNoConn if
+///    none) — only tracked when a restricted variant needs it;
+///  - cur: parent of the piece at column l on this track placed earlier in
+///    the current column group (rolls into `prev` at the column boundary).
+struct Entry {
+  Column next_free = 0;
+  ConnId occupant = kNoConn;
+  ConnId prev = kNoConn;
+  ConnId cur = kNoConn;
+
+  friend bool operator==(const Entry&, const Entry&) = default;
+};
+
+struct StateHash {
+  std::size_t operator()(const std::vector<Entry>& v) const {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t x) {
+      h ^= x;
+      h *= 1099511628211ull;
+    };
+    for (const Entry& e : v) {
+      mix(static_cast<std::uint32_t>(e.next_free));
+      mix(static_cast<std::uint32_t>(e.occupant + 1));
+      mix(static_cast<std::uint32_t>(e.prev + 1));
+      mix(static_cast<std::uint32_t>(e.cur + 1));
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct Node {
+  std::vector<Entry> state;
+  std::int64_t parent = -1;
+  TrackId edge_track = kNoTrack;
+};
+
+/// A unit-column piece of a parent connection (Proposition 11's C').
+struct Unit {
+  Column col;
+  ConnId parent;
+};
+
+}  // namespace
+
+GeneralizedRouteResult generalized_dp_route(const SegmentedChannel& ch,
+                                            const ConnectionSet& cs,
+                                            const GeneralizedDpOptions& opts) {
+  GeneralizedRouteResult res;
+  res.routing = GeneralizedRouting(cs.size());
+  if (cs.max_right() > ch.width()) {
+    res.note = "connections exceed channel width";
+    return res;
+  }
+  const TrackId T = ch.num_tracks();
+  const bool track_prev =
+      opts.allowed_switch_columns.has_value() || opts.switch_requires_overlap;
+  std::set<Column> switch_cols;
+  if (opts.allowed_switch_columns) {
+    switch_cols.insert(opts.allowed_switch_columns->begin(),
+                       opts.allowed_switch_columns->end());
+  }
+
+  // Expand to unit pieces, sorted by column (Proposition 11).
+  std::vector<Unit> units;
+  for (ConnId i = 0; i < cs.size(); ++i) {
+    for (Column l = cs[i].left; l <= cs[i].right; ++l) {
+      units.push_back(Unit{l, i});
+    }
+  }
+  std::stable_sort(units.begin(), units.end(),
+                   [](const Unit& a, const Unit& b) { return a.col < b.col; });
+  const std::size_t U = units.size();
+
+  std::vector<Node> nodes;
+  const Column L0 = U > 0 ? units[0].col : ch.width() + 1;
+  nodes.push_back(Node{std::vector<Entry>(static_cast<std::size_t>(T),
+                                          Entry{L0, kNoConn, kNoConn, kNoConn}),
+                       -1, kNoTrack});
+  std::vector<std::int64_t> level = {0};
+  res.stats.nodes_per_level.push_back(1);
+
+  for (std::size_t step = 0; step < U; ++step) {
+    const Unit u = units[step];
+    const Column Lnext = (step + 1 < U) ? units[step + 1].col : ch.width() + 1;
+    std::unordered_map<std::vector<Entry>, std::int64_t, StateHash> seen;
+    std::vector<std::int64_t> next_level;
+
+    for (std::int64_t ni : level) {
+      for (TrackId t = 0; t < T; ++t) {
+        const Entry e = nodes[static_cast<std::size_t>(ni)]
+                            .state[static_cast<std::size_t>(t)];
+        const bool seg_free = e.next_free == u.col;
+        const bool share_ok = !seg_free && e.occupant == u.parent;
+        if (!seg_free && !share_ok) continue;
+
+        // Restricted variants: a piece that does not continue on the same
+        // track as the parent's previous piece starts a new part — a track
+        // change at column u.col.
+        if (track_prev && u.col > cs[u.parent].left && e.prev != u.parent) {
+          if (opts.allowed_switch_columns && !switch_cols.contains(u.col)) {
+            continue;
+          }
+          if (opts.switch_requires_overlap) {
+            // The previous piece sits on the track t2 with prev == parent;
+            // its segment there must extend through column u.col so a
+            // vertical jumper can bridge the tracks.
+            bool overlap = false;
+            for (TrackId t2 = 0; t2 < T; ++t2) {
+              const Entry& e2 = nodes[static_cast<std::size_t>(ni)]
+                                    .state[static_cast<std::size_t>(t2)];
+              if (e2.prev == u.parent) {
+                const Track& tr2 = ch.track(t2);
+                overlap =
+                    tr2.segment(tr2.segment_at(u.col - 1)).right >= u.col;
+                break;
+              }
+            }
+            if (!overlap) continue;
+          }
+        }
+
+        std::vector<Entry> st = nodes[static_cast<std::size_t>(ni)].state;
+        const Track& tr = ch.track(t);
+        const Segment& seg = tr.segment(tr.segment_at(u.col));
+        Entry& mine = st[static_cast<std::size_t>(t)];
+        mine.next_free = seg.right + 1;
+        mine.occupant = u.parent;
+        if (track_prev) mine.cur = u.parent;
+
+        // Normalize every entry with respect to the next unit's column.
+        for (TrackId t2 = 0; t2 < T; ++t2) {
+          Entry& e2 = st[static_cast<std::size_t>(t2)];
+          if (Lnext > u.col) {
+            // Column boundary: `cur` becomes `prev` if the columns are
+            // adjacent, else both expire.
+            e2.prev = (Lnext == u.col + 1) ? e2.cur : kNoConn;
+            e2.cur = kNoConn;
+          }
+          if (e2.next_free <= Lnext) {
+            e2.next_free = Lnext;
+            e2.occupant = kNoConn;
+          } else if (e2.occupant != kNoConn && cs[e2.occupant].right < Lnext) {
+            e2.occupant = kNoConn;  // parent can no longer extend: forget it
+          }
+        }
+
+        auto it = seen.find(st);
+        if (it == seen.end()) {
+          if (nodes.size() >= opts.max_total_nodes) {
+            res.note = "assignment graph exceeded node limit";
+            return res;
+          }
+          const std::int64_t id = static_cast<std::int64_t>(nodes.size());
+          nodes.push_back(Node{st, ni, t});
+          seen.emplace(std::move(st), id);
+          next_level.push_back(id);
+        }
+      }
+    }
+    if (next_level.empty()) {
+      res.note = "no generalized routing: level " + std::to_string(step + 1) +
+                 " empty (column " + std::to_string(u.col) + ")";
+      res.stats.nodes_per_level.push_back(0);
+      res.stats.total_nodes = nodes.size();
+      res.stats.max_level_nodes =
+          *std::max_element(res.stats.nodes_per_level.begin(),
+                            res.stats.nodes_per_level.end());
+      return res;
+    }
+    res.stats.nodes_per_level.push_back(next_level.size());
+    level = std::move(next_level);
+  }
+
+  res.stats.total_nodes = nodes.size();
+  res.stats.max_level_nodes = *std::max_element(
+      res.stats.nodes_per_level.begin(), res.stats.nodes_per_level.end());
+
+  // Trace back per-unit track choices and rebuild parts.
+  std::vector<TrackId> unit_track(U, kNoTrack);
+  std::int64_t cur = level.front();
+  for (std::size_t step = U; step-- > 0;) {
+    unit_track[step] = nodes[static_cast<std::size_t>(cur)].edge_track;
+    cur = nodes[static_cast<std::size_t>(cur)].parent;
+  }
+  std::vector<std::vector<std::pair<Column, TrackId>>> per_parent(
+      static_cast<std::size_t>(cs.size()));
+  for (std::size_t i = 0; i < U; ++i) {
+    per_parent[static_cast<std::size_t>(units[i].parent)].emplace_back(
+        units[i].col, unit_track[i]);
+  }
+  for (ConnId i = 0; i < cs.size(); ++i) {
+    auto& pieces = per_parent[static_cast<std::size_t>(i)];
+    std::sort(pieces.begin(), pieces.end());
+    for (const auto& [col, t] : pieces) {
+      res.routing.add_part(i, col, col, t);
+    }
+  }
+  res.routing.normalize();
+  res.success = true;
+  return res;
+}
+
+}  // namespace segroute::alg

@@ -1,0 +1,58 @@
+#include "alg/greedy1.h"
+
+#include "core/routing.h"
+
+namespace segroute::alg {
+
+RouteResult greedy1_route_traced(const SegmentedChannel& ch,
+                                 const ConnectionSet& cs, Greedy1Trace* trace,
+                                 TieBreak tie) {
+  RouteResult res;
+  res.routing = Routing(cs.size());
+  if (trace) {
+    trace->segment_of.assign(static_cast<std::size_t>(cs.size()), -1);
+  }
+  if (cs.max_right() > ch.width()) {
+    res.note = "connections exceed channel width";
+    return res;
+  }
+  Occupancy occ(ch);
+  for (ConnId i : cs.sorted_by_left()) {
+    const Connection& c = cs[i];
+    TrackId best = kNoTrack;
+    SegId best_seg = -1;
+    Column best_right = 0;
+    for (TrackId t = 0; t < ch.num_tracks(); ++t) {
+      const Track& tr = ch.track(t);
+      auto [a, b] = tr.span(c.left, c.right);
+      if (a != b) continue;                      // needs more than one segment
+      if (occ.occupant(t, a) != kNoConn) continue;  // already taken
+      const Column r = tr.segment(a).right;
+      const bool better =
+          best == kNoTrack || r < best_right ||
+          (r == best_right && tie == TieBreak::HighestTrack);
+      if (better) {
+        best = t;
+        best_seg = a;
+        best_right = r;
+      }
+    }
+    if (best == kNoTrack) {
+      res.note = "no single unoccupied segment can hold connection " +
+                 std::to_string(i);
+      return res;
+    }
+    occ.place(best, c.left, c.right, i);
+    res.routing.assign(i, best);
+    if (trace) trace->segment_of[static_cast<std::size_t>(i)] = best_seg;
+  }
+  res.success = true;
+  return res;
+}
+
+RouteResult greedy1_route(const SegmentedChannel& ch, const ConnectionSet& cs,
+                          TieBreak tie) {
+  return greedy1_route_traced(ch, cs, nullptr, tie);
+}
+
+}  // namespace segroute::alg

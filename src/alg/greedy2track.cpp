@@ -1,0 +1,106 @@
+#include "alg/greedy2track.h"
+
+#include <stdexcept>
+
+#include "core/routing.h"
+
+namespace segroute::alg {
+
+RouteResult greedy2track_route(const SegmentedChannel& ch,
+                               const ConnectionSet& cs,
+                               std::vector<Greedy2Event>* events) {
+  if (ch.max_segments_per_track() > 2) {
+    throw std::invalid_argument(
+        "greedy2track_route: every track must have at most two segments");
+  }
+  RouteResult res;
+  res.routing = Routing(cs.size());
+  if (cs.max_right() > ch.width()) {
+    res.note = "connections exceed channel width";
+    return res;
+  }
+
+  Occupancy occ(ch);
+  // A track is "unoccupied" while no connection has been assigned to it.
+  std::vector<bool> track_used(static_cast<std::size_t>(ch.num_tracks()), false);
+  int unused_tracks = ch.num_tracks();
+  std::vector<ConnId> pool;
+
+  auto emit = [&](Greedy2Event e) {
+    if (events) events->push_back(std::move(e));
+  };
+
+  auto flush_pool_to = [&](Greedy2Event::Kind kind) -> bool {
+    // Assign every pooled connection a whole unoccupied track.
+    Greedy2Event ev;
+    ev.kind = kind;
+    TrackId t = 0;
+    for (ConnId c : pool) {
+      while (t < ch.num_tracks() && track_used[static_cast<std::size_t>(t)]) ++t;
+      if (t >= ch.num_tracks()) return false;
+      occ.place(t, cs[c].left, cs[c].right, c);
+      res.routing.assign(c, t);
+      track_used[static_cast<std::size_t>(t)] = true;
+      --unused_tracks;
+      ev.flushed.emplace_back(c, t);
+    }
+    pool.clear();
+    emit(std::move(ev));
+    return true;
+  };
+
+  for (ConnId i : cs.sorted_by_left()) {
+    const Connection& c = cs[i];
+    // Tracks where the connection occupies exactly one segment that is
+    // still unoccupied; choose minimal segment right end.
+    TrackId best = kNoTrack;
+    Column best_right = 0;
+    for (TrackId t = 0; t < ch.num_tracks(); ++t) {
+      const Track& tr = ch.track(t);
+      auto [a, b] = tr.span(c.left, c.right);
+      if (a != b) continue;
+      if (occ.occupant(t, a) != kNoConn) continue;
+      const Column r = tr.segment(a).right;
+      if (best == kNoTrack || r < best_right) {
+        best = t;
+        best_right = r;
+      }
+    }
+    if (best == kNoTrack) {
+      pool.push_back(i);
+      emit(Greedy2Event{Greedy2Event::Kind::Pooled, i, kNoTrack, {}});
+    } else {
+      occ.place(best, c.left, c.right, i);
+      res.routing.assign(i, best);
+      if (!track_used[static_cast<std::size_t>(best)]) {
+        track_used[static_cast<std::size_t>(best)] = true;
+        --unused_tracks;
+      }
+      emit(Greedy2Event{Greedy2Event::Kind::AssignedSegment, i, best, {}});
+    }
+    if (static_cast<int>(pool.size()) > unused_tracks) {
+      res.note = "pooled connections exceed unoccupied tracks (no routing)";
+      return res;
+    }
+    if (!pool.empty() && static_cast<int>(pool.size()) == unused_tracks) {
+      if (!flush_pool_to(Greedy2Event::Kind::PoolFlushed)) {
+        res.note = "internal: pool flush failed";
+        return res;
+      }
+    }
+  }
+  if (!pool.empty()) {
+    if (static_cast<int>(pool.size()) > unused_tracks) {
+      res.note = "pooled connections exceed unoccupied tracks (no routing)";
+      return res;
+    }
+    if (!flush_pool_to(Greedy2Event::Kind::FinalPoolAssign)) {
+      res.note = "internal: final pool assignment failed";
+      return res;
+    }
+  }
+  res.success = true;
+  return res;
+}
+
+}  // namespace segroute::alg

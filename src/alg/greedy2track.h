@@ -1,0 +1,37 @@
+// "At Most 2-Segments Per Track" routing: the greedy pool algorithm of
+// Section IV-A (Theorem 4). Exact for channels in which every track is
+// divided into at most two segments.
+#pragma once
+
+#include <vector>
+
+#include "alg/result.h"
+#include "core/channel.h"
+#include "core/connection.h"
+
+namespace segroute::alg {
+
+/// One step of the algorithm's execution, for trace-style reporting
+/// (used to reproduce the narrated run on Fig. 8).
+struct Greedy2Event {
+  enum class Kind {
+    AssignedSegment,  // placed in a single unoccupied segment of `track`
+    Pooled,           // no single segment available; appended to pool P
+    PoolFlushed,      // |P| == #unoccupied tracks: pool assigned to them
+    FinalPoolAssign,  // end-of-input assignment of remaining pool
+  };
+  Kind kind;
+  ConnId conn = kNoConn;   // connection involved (AssignedSegment / Pooled)
+  TrackId track = kNoTrack;  // track chosen (AssignedSegment)
+  std::vector<std::pair<ConnId, TrackId>> flushed;  // pool placements
+};
+
+/// Greedy router for channels with at most two segments per track
+/// (Problem 1). Throws std::invalid_argument if some track has more than
+/// two segments. Finds a routing whenever one exists (Theorem 4).
+/// `events`, if non-null, receives the execution trace.
+RouteResult greedy2track_route(const SegmentedChannel& ch,
+                               const ConnectionSet& cs,
+                               std::vector<Greedy2Event>* events = nullptr);
+
+}  // namespace segroute::alg

@@ -1,0 +1,110 @@
+#include "alg/match1.h"
+
+#include <cmath>
+
+#include "match/hopcroft_karp.h"
+#include "match/hungarian.h"
+
+namespace segroute::alg {
+
+namespace {
+
+/// Flattened (track, segment) index space for the right-hand side.
+struct SegIndex {
+  std::vector<int> base;  // per track, offset of its first segment
+  int total = 0;
+
+  explicit SegIndex(const SegmentedChannel& ch) {
+    base.reserve(static_cast<std::size_t>(ch.num_tracks()));
+    for (TrackId t = 0; t < ch.num_tracks(); ++t) {
+      base.push_back(total);
+      total += ch.track(t).num_segments();
+    }
+  }
+  [[nodiscard]] int flat(TrackId t, SegId s) const {
+    return base[static_cast<std::size_t>(t)] + s;
+  }
+  [[nodiscard]] TrackId track_of_flat(int f) const {
+    TrackId t = static_cast<TrackId>(base.size()) - 1;
+    while (base[static_cast<std::size_t>(t)] > f) --t;
+    return t;
+  }
+};
+
+}  // namespace
+
+RouteResult match1_route(const SegmentedChannel& ch, const ConnectionSet& cs) {
+  RouteResult res;
+  res.routing = Routing(cs.size());
+  if (cs.max_right() > ch.width()) {
+    res.note = "connections exceed channel width";
+    return res;
+  }
+  SegIndex idx(ch);
+  match::BipartiteGraph g(cs.size(), idx.total);
+  for (ConnId i = 0; i < cs.size(); ++i) {
+    const Connection& c = cs[i];
+    for (TrackId t = 0; t < ch.num_tracks(); ++t) {
+      auto [a, b] = ch.track(t).span(c.left, c.right);
+      if (a == b) g.add_edge(i, idx.flat(t, a));
+    }
+  }
+  const auto m = match::hopcroft_karp(g);
+  if (m.size != cs.size()) {
+    res.note = "maximum matching covers only " + std::to_string(m.size) +
+               " of " + std::to_string(cs.size()) + " connections";
+    return res;
+  }
+  for (ConnId i = 0; i < cs.size(); ++i) {
+    res.routing.assign(i, idx.track_of_flat(m.match_left[static_cast<std::size_t>(i)]));
+  }
+  res.success = true;
+  return res;
+}
+
+RouteResult match1_route_optimal(const SegmentedChannel& ch,
+                                 const ConnectionSet& cs, const WeightFn& w) {
+  RouteResult res;
+  res.routing = Routing(cs.size());
+  if (cs.size() == 0) {
+    res.success = true;
+    return res;
+  }
+  if (cs.max_right() > ch.width()) {
+    res.note = "connections exceed channel width";
+    return res;
+  }
+  SegIndex idx(ch);
+  if (cs.size() > idx.total) {
+    res.note = "more connections than segments";
+    return res;
+  }
+  std::vector<double> cost(static_cast<std::size_t>(cs.size()) *
+                               static_cast<std::size_t>(idx.total),
+                           match::kForbidden);
+  for (ConnId i = 0; i < cs.size(); ++i) {
+    const Connection& c = cs[i];
+    for (TrackId t = 0; t < ch.num_tracks(); ++t) {
+      auto [a, b] = ch.track(t).span(c.left, c.right);
+      if (a != b) continue;
+      const double wc = w(ch, c, t);
+      if (std::isinf(wc)) continue;
+      cost[static_cast<std::size_t>(i) * static_cast<std::size_t>(idx.total) +
+           static_cast<std::size_t>(idx.flat(t, a))] = wc;
+    }
+  }
+  const auto m = match::hungarian(cs.size(), idx.total, cost);
+  if (!m.feasible) {
+    res.note = "no complete 1-segment routing exists";
+    return res;
+  }
+  for (ConnId i = 0; i < cs.size(); ++i) {
+    res.routing.assign(
+        i, idx.track_of_flat(m.column_of[static_cast<std::size_t>(i)]));
+  }
+  res.weight = m.cost;
+  res.success = true;
+  return res;
+}
+
+}  // namespace segroute::alg

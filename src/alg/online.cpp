@@ -1,0 +1,165 @@
+#include "alg/online.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace segroute::alg {
+
+OnlineRouter::OnlineRouter(SegmentedChannel channel, Policy policy,
+                           int max_segments)
+    : channel_(std::move(channel)),
+      policy_(policy),
+      max_segments_(max_segments),
+      occ_(channel_) {}
+
+bool OnlineRouter::feasible_on(const Connection& c, TrackId t) const {
+  if (max_segments_ > 0 &&
+      channel_.track(t).segments_spanned(c.left, c.right) > max_segments_) {
+    return false;
+  }
+  return occ_.fits(t, c.left, c.right);
+}
+
+std::optional<TrackId> OnlineRouter::pick_track(const Connection& c) const {
+  std::optional<TrackId> best;
+  Column best_len = std::numeric_limits<Column>::max();
+  for (TrackId t = 0; t < channel_.num_tracks(); ++t) {
+    if (!feasible_on(c, t)) continue;
+    if (policy_ == Policy::FirstFit) return t;
+    const Column len = channel_.track(t).occupied_length(c.left, c.right);
+    if (len < best_len) {
+      best_len = len;
+      best = t;
+    }
+  }
+  return best;
+}
+
+std::optional<ConnId> OnlineRouter::insert(Column left, Column right,
+                                           std::string name) {
+  Connection c{left, right, std::move(name)};
+  if (c.left < 1 || c.left > c.right || c.right > channel_.width()) {
+    throw std::invalid_argument("OnlineRouter::insert: bad span");
+  }
+  const auto t = pick_track(c);
+  if (!t) return std::nullopt;
+  const ConnId id = static_cast<ConnId>(conns_.size());
+  occ_.place(*t, c.left, c.right, id);
+  conns_.push_back(std::move(c));
+  track_of_.push_back(*t);
+  live_.push_back(true);
+  ++num_placed_;
+  return id;
+}
+
+std::optional<ConnId> OnlineRouter::insert_with_ripup(Column left, Column right,
+                                                      std::string name) {
+  if (auto id = insert(left, right, name)) return id;
+  const Connection c{left, right, name};
+  // Try evicting, per track, every live connection that occupies one of
+  // the segments c would need; c must then fit the track and the victim
+  // must fit somewhere else.
+  for (TrackId t = 0; t < channel_.num_tracks(); ++t) {
+    if (max_segments_ > 0 &&
+        channel_.track(t).segments_spanned(c.left, c.right) > max_segments_) {
+      continue;
+    }
+    auto [a, b] = channel_.track(t).span(c.left, c.right);
+    // Collect distinct blockers on this track.
+    std::vector<ConnId> blockers;
+    for (SegId s = a; s <= b; ++s) {
+      const ConnId o = occ_.occupant(t, s);
+      if (o != kNoConn &&
+          (blockers.empty() || blockers.back() != o)) {
+        blockers.push_back(o);
+      }
+    }
+    if (blockers.size() != 1) continue;  // single-victim rip-up only
+    const ConnId victim = blockers.front();
+    const Connection vc = conns_[static_cast<std::size_t>(victim)];
+    // Tentatively evict.
+    occ_.remove(track_of_[static_cast<std::size_t>(victim)], vc.left, vc.right);
+    if (feasible_on(c, t)) {
+      // Place the new connection, then find the victim a new home.
+      const ConnId id = static_cast<ConnId>(conns_.size());
+      occ_.place(t, c.left, c.right, id);
+      const auto new_home = pick_track(vc);
+      if (new_home) {
+        conns_.push_back(c);
+        track_of_.push_back(t);
+        live_.push_back(true);
+        ++num_placed_;
+        occ_.place(*new_home, vc.left, vc.right, victim);
+        track_of_[static_cast<std::size_t>(victim)] = *new_home;
+        return id;
+      }
+      occ_.remove(t, c.left, c.right);  // undo the tentative placement
+    }
+    // Restore the victim.
+    occ_.place(track_of_[static_cast<std::size_t>(victim)], vc.left, vc.right,
+               victim);
+  }
+  return std::nullopt;
+}
+
+void OnlineRouter::remove(ConnId id) {
+  if (id < 0 || id >= static_cast<ConnId>(conns_.size()) ||
+      !live_[static_cast<std::size_t>(id)]) {
+    throw std::invalid_argument("OnlineRouter::remove: unknown connection");
+  }
+  const Connection& c = conns_[static_cast<std::size_t>(id)];
+  occ_.remove(track_of_[static_cast<std::size_t>(id)], c.left, c.right);
+  live_[static_cast<std::size_t>(id)] = false;
+  track_of_[static_cast<std::size_t>(id)] = kNoTrack;
+  --num_placed_;
+}
+
+TrackId OnlineRouter::reroute(ConnId id) {
+  if (!is_placed(id)) {
+    throw std::invalid_argument("OnlineRouter::reroute: unknown connection");
+  }
+  const Connection c = conns_[static_cast<std::size_t>(id)];
+  const TrackId old = track_of_[static_cast<std::size_t>(id)];
+  occ_.remove(old, c.left, c.right);
+  const auto t = pick_track(c);  // old track is free again, so always set
+  occ_.place(*t, c.left, c.right, id);
+  track_of_[static_cast<std::size_t>(id)] = *t;
+  return *t;
+}
+
+bool OnlineRouter::is_placed(ConnId id) const {
+  return id >= 0 && id < static_cast<ConnId>(conns_.size()) &&
+         live_[static_cast<std::size_t>(id)];
+}
+
+TrackId OnlineRouter::track_of(ConnId id) const {
+  if (!is_placed(id)) {
+    throw std::invalid_argument("OnlineRouter::track_of: unknown connection");
+  }
+  return track_of_[static_cast<std::size_t>(id)];
+}
+
+const Connection& OnlineRouter::connection(ConnId id) const {
+  if (!is_placed(id)) {
+    throw std::invalid_argument("OnlineRouter::connection: unknown connection");
+  }
+  return conns_[static_cast<std::size_t>(id)];
+}
+
+std::pair<ConnectionSet, Routing> OnlineRouter::snapshot() const {
+  ConnectionSet cs;
+  std::vector<TrackId> tracks;
+  for (ConnId id = 0; id < static_cast<ConnId>(conns_.size()); ++id) {
+    if (!live_[static_cast<std::size_t>(id)]) continue;
+    const Connection& c = conns_[static_cast<std::size_t>(id)];
+    cs.add(c.left, c.right, c.name);
+    tracks.push_back(track_of_[static_cast<std::size_t>(id)]);
+  }
+  Routing r(cs.size());
+  for (ConnId i = 0; i < cs.size(); ++i) {
+    r.assign(i, tracks[static_cast<std::size_t>(i)]);
+  }
+  return {std::move(cs), std::move(r)};
+}
+
+}  // namespace segroute::alg

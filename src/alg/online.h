@@ -1,0 +1,73 @@
+// Incremental (online) segmented-channel routing: insert and remove
+// connections one at a time, with an optional single-level rip-up-and-
+// re-route on failure. This is the engine an interactive FPGA tool needs
+// (incremental design changes), built on the same occupancy model as the
+// batch routers.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/connection.h"
+#include "core/routing.h"
+
+namespace segroute::alg {
+
+class OnlineRouter {
+ public:
+  enum class Policy {
+    FirstFit,  // lowest-index feasible track
+    BestFit,   // feasible track minimizing occupied segment length
+  };
+
+  /// `max_segments` = 0 for unlimited, K > 0 for K-segment routing.
+  explicit OnlineRouter(SegmentedChannel channel,
+                        Policy policy = Policy::BestFit, int max_segments = 0);
+
+  /// Inserts a connection; returns its id on success (stable across
+  /// removals of other connections), or nullopt if no feasible track
+  /// exists under the policy.
+  std::optional<ConnId> insert(Column left, Column right,
+                               std::string name = {});
+
+  /// Inserts with single-level rip-up: if plain insertion fails, tries
+  /// evicting one placed connection that blocks some track, inserting the
+  /// new connection there, and re-placing the evicted one elsewhere.
+  /// Either both end up placed or the state is left unchanged.
+  std::optional<ConnId> insert_with_ripup(Column left, Column right,
+                                          std::string name = {});
+
+  /// Removes a previously inserted connection (its id becomes invalid).
+  /// Throws std::invalid_argument for unknown/removed ids.
+  void remove(ConnId id);
+
+  /// Moves a placed connection to the best feasible track under the
+  /// policy (possibly the one it is already on). Returns the new track.
+  TrackId reroute(ConnId id);
+
+  [[nodiscard]] const SegmentedChannel& channel() const { return channel_; }
+  [[nodiscard]] int num_placed() const { return num_placed_; }
+  [[nodiscard]] bool is_placed(ConnId id) const;
+  [[nodiscard]] TrackId track_of(ConnId id) const;
+  [[nodiscard]] const Connection& connection(ConnId id) const;
+
+  /// Snapshot of the current state as a (ConnectionSet, Routing) pair —
+  /// valid by construction; tests re-validate it.
+  [[nodiscard]] std::pair<ConnectionSet, Routing> snapshot() const;
+
+ private:
+  [[nodiscard]] std::optional<TrackId> pick_track(const Connection& c) const;
+  [[nodiscard]] bool feasible_on(const Connection& c, TrackId t) const;
+
+  SegmentedChannel channel_;
+  Policy policy_;
+  int max_segments_;
+  Occupancy occ_;
+  std::vector<Connection> conns_;   // slot per id; removed slots stay
+  std::vector<TrackId> track_of_;   // kNoTrack when removed
+  std::vector<bool> live_;
+  int num_placed_ = 0;
+};
+
+}  // namespace segroute::alg

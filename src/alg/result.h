@@ -1,0 +1,45 @@
+// Common result type returned by every router in segroute::alg.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/routing.h"
+
+namespace segroute::alg {
+
+/// Search/solve statistics; fields are filled by the routers that have
+/// something meaningful to report and left at defaults otherwise.
+struct RouteStats {
+  /// DP routers: number of assignment-graph nodes per level (level i =
+  /// frontiers after routing the first i connections).
+  std::vector<std::size_t> nodes_per_level;
+  /// DP routers: total nodes in the assignment graph.
+  std::uint64_t total_nodes = 0;
+  /// DP routers: maximum nodes on any single level (the paper's L).
+  std::size_t max_level_nodes = 0;
+  /// LP router: simplex iterations; exhaustive router: branches explored.
+  std::uint64_t iterations = 0;
+  /// LP router: value of the LP relaxation objective.
+  double lp_objective = 0.0;
+  /// LP router: true if the plain relaxation was already integral.
+  bool lp_integral = false;
+  /// LP router: number of fix-and-resolve rounding passes used.
+  int rounding_passes = 0;
+};
+
+/// Outcome of a routing attempt. `success` means a complete valid routing
+/// was produced; `routing` is then complete. On failure `routing` may hold
+/// a partial assignment (router-specific) and `note` says what failed.
+struct RouteResult {
+  bool success = false;
+  Routing routing;
+  double weight = 0.0;  // total weight for optimizing routers, else 0
+  std::string note;
+  RouteStats stats;
+
+  explicit operator bool() const { return success; }
+};
+
+}  // namespace segroute::alg

@@ -1,0 +1,95 @@
+#include "core/connection.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace segroute {
+
+namespace {
+
+void check(const Connection& c) {
+  if (c.left < 1 || c.left > c.right) {
+    throw std::invalid_argument("Connection: need 1 <= left <= right, got [" +
+                                std::to_string(c.left) + ", " +
+                                std::to_string(c.right) + "]");
+  }
+}
+
+/// Max over columns of the number of intervals covering the column.
+int interval_density(const std::vector<std::pair<Column, Column>>& spans) {
+  std::vector<std::pair<Column, int>> events;
+  events.reserve(spans.size() * 2);
+  for (auto [l, r] : spans) {
+    events.emplace_back(l, +1);
+    events.emplace_back(r + 1, -1);
+  }
+  std::sort(events.begin(), events.end());
+  int cur = 0, best = 0;
+  for (auto [col, delta] : events) {
+    cur += delta;
+    best = std::max(best, cur);
+  }
+  return best;
+}
+
+}  // namespace
+
+ConnectionSet::ConnectionSet(std::vector<Connection> conns)
+    : conns_(std::move(conns)) {
+  for (const Connection& c : conns_) check(c);
+}
+
+ConnId ConnectionSet::add(Column left, Column right, std::string name) {
+  Connection c{left, right, std::move(name)};
+  check(c);
+  conns_.push_back(std::move(c));
+  return static_cast<ConnId>(conns_.size()) - 1;
+}
+
+std::vector<ConnId> ConnectionSet::sorted_by_left() const {
+  std::vector<ConnId> order(conns_.size());
+  for (ConnId i = 0; i < size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](ConnId a, ConnId b) {
+    return conns_[a].left < conns_[b].left;
+  });
+  return order;
+}
+
+bool ConnectionSet::is_sorted_by_left() const {
+  return std::is_sorted(conns_.begin(), conns_.end(),
+                        [](const Connection& a, const Connection& b) {
+                          return a.left < b.left;
+                        });
+}
+
+Column ConnectionSet::max_right() const {
+  Column m = 0;
+  for (const Connection& c : conns_) m = std::max(m, c.right);
+  return m;
+}
+
+int ConnectionSet::density() const {
+  std::vector<std::pair<Column, Column>> spans;
+  spans.reserve(conns_.size());
+  for (const Connection& c : conns_) spans.emplace_back(c.left, c.right);
+  return interval_density(spans);
+}
+
+int ConnectionSet::extended_density(const SegmentedChannel& ch) const {
+  if (!ch.identically_segmented()) {
+    throw std::invalid_argument(
+        "extended_density: channel tracks are not identically segmented");
+  }
+  if (max_right() > ch.width()) {
+    throw std::invalid_argument("extended_density: connections exceed channel");
+  }
+  const Track& t = ch.track(0);
+  std::vector<std::pair<Column, Column>> spans;
+  spans.reserve(conns_.size());
+  for (const Connection& c : conns_) {
+    spans.push_back(t.align_to_segments(c.left, c.right));
+  }
+  return interval_density(spans);
+}
+
+}  // namespace segroute

@@ -1,0 +1,76 @@
+// Connection and ConnectionSet: the demand side of a routing problem.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/types.h"
+
+namespace segroute {
+
+/// A two-terminal horizontal connection spanning columns [left, right]
+/// (inclusive, 1-based). `name` is optional, for diagnostics and examples.
+struct Connection {
+  Column left = 0;
+  Column right = 0;
+  std::string name;
+
+  [[nodiscard]] Column length() const { return right - left + 1; }
+
+  /// True if the two connections share at least one column (the paper's
+  /// "overlap" relation).
+  [[nodiscard]] bool overlaps(const Connection& o) const {
+    return left <= o.right && o.left <= right;
+  }
+
+  friend bool operator==(const Connection& a, const Connection& b) {
+    return a.left == b.left && a.right == b.right;
+  }
+};
+
+/// An ordered collection of connections.
+///
+/// Invariant: every connection satisfies 1 <= left <= right. Connections
+/// are stored in the order given; `sorted_by_left()` yields the processing
+/// order assumed throughout the paper (non-decreasing left end).
+class ConnectionSet {
+ public:
+  ConnectionSet() = default;
+  explicit ConnectionSet(std::vector<Connection> conns);
+
+  /// Appends a connection; returns its id.
+  ConnId add(Column left, Column right, std::string name = {});
+
+  [[nodiscard]] ConnId size() const { return static_cast<ConnId>(conns_.size()); }
+  [[nodiscard]] bool empty() const { return conns_.empty(); }
+  [[nodiscard]] const Connection& operator[](ConnId i) const { return conns_[i]; }
+  [[nodiscard]] const std::vector<Connection>& all() const { return conns_; }
+
+  /// Connection ids sorted by non-decreasing left end (stable).
+  [[nodiscard]] std::vector<ConnId> sorted_by_left() const;
+
+  /// True if the stored order already has non-decreasing left ends.
+  [[nodiscard]] bool is_sorted_by_left() const;
+
+  /// Rightmost column any connection touches (0 if empty).
+  [[nodiscard]] Column max_right() const;
+
+  /// Channel density: the maximum, over columns, of the number of
+  /// connections present in that column. For conventional (unconstrained)
+  /// routing with no vertical constraints this equals the exact number of
+  /// tracks needed (left-edge algorithm, Fig. 2(b)).
+  [[nodiscard]] int density() const;
+
+  /// Density after extending each connection outward to the segment
+  /// boundaries of an identically segmented channel (Section IV-A: with
+  /// this extension, density is again a valid upper bound for left-edge
+  /// routing on identical tracks). Throws if the channel's tracks are not
+  /// identically segmented or the connections exceed its width.
+  [[nodiscard]] int extended_density(const SegmentedChannel& ch) const;
+
+ private:
+  std::vector<Connection> conns_;
+};
+
+}  // namespace segroute

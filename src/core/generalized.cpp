@@ -1,0 +1,119 @@
+#include "core/generalized.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace segroute {
+
+int GeneralizedRouting::tracks_used(ConnId c) const {
+  std::set<TrackId> tracks;
+  for (const RoutePart& p : parts_[c]) tracks.insert(p.track);
+  return static_cast<int>(tracks.size());
+}
+
+int GeneralizedRouting::track_changes(ConnId c) const {
+  const auto& ps = parts_[c];
+  int changes = 0;
+  for (std::size_t i = 1; i < ps.size(); ++i) {
+    if (ps[i].track != ps[i - 1].track) ++changes;
+  }
+  return changes;
+}
+
+void GeneralizedRouting::normalize() {
+  for (auto& ps : parts_) {
+    std::vector<RoutePart> merged;
+    for (const RoutePart& p : ps) {
+      if (!merged.empty() && merged.back().track == p.track &&
+          merged.back().right + 1 == p.left) {
+        merged.back().right = p.right;
+      } else {
+        merged.push_back(p);
+      }
+    }
+    ps = std::move(merged);
+  }
+}
+
+GeneralizedRouting GeneralizedRouting::from_routing(const ConnectionSet& cs,
+                                                    const Routing& r) {
+  GeneralizedRouting g(cs.size());
+  for (ConnId i = 0; i < cs.size(); ++i) {
+    if (r.is_assigned(i)) {
+      g.add_part(i, cs[i].left, cs[i].right, r.track_of(i));
+    }
+  }
+  return g;
+}
+
+ValidationResult validate(const SegmentedChannel& ch, const ConnectionSet& cs,
+                          const GeneralizedRouting& r,
+                          std::optional<int> max_segments,
+                          std::optional<int> max_tracks_per_conn) {
+  auto fail = [](std::string msg) {
+    return ValidationResult{false, std::move(msg)};
+  };
+  if (r.size() != cs.size()) {
+    return fail("generalized routing size mismatch");
+  }
+  // Per-(track, segment) occupant.
+  std::vector<std::vector<ConnId>> occ(
+      static_cast<std::size_t>(ch.num_tracks()));
+  for (TrackId t = 0; t < ch.num_tracks(); ++t) {
+    occ[static_cast<std::size_t>(t)].assign(
+        static_cast<std::size_t>(ch.track(t).num_segments()), kNoConn);
+  }
+  for (ConnId i = 0; i < cs.size(); ++i) {
+    const Connection& c = cs[i];
+    const auto& ps = r.parts(i);
+    if (ps.empty()) {
+      return fail("connection " + std::to_string(i) + " has no parts");
+    }
+    // Tiling check.
+    Column expect = c.left;
+    for (const RoutePart& p : ps) {
+      if (p.left != expect || p.right < p.left) {
+        return fail("connection " + std::to_string(i) +
+                    " parts do not tile its span");
+      }
+      if (p.track < 0 || p.track >= ch.num_tracks()) {
+        return fail("connection " + std::to_string(i) + " part on bad track");
+      }
+      expect = p.right + 1;
+    }
+    if (expect != c.right + 1) {
+      return fail("connection " + std::to_string(i) +
+                  " parts do not reach its right end");
+    }
+    // Occupancy: each part occupies the segments it spans; sharing within
+    // the same connection is allowed.
+    std::set<std::pair<TrackId, SegId>> own;
+    for (const RoutePart& p : ps) {
+      auto [a, b] = ch.track(p.track).span(p.left, p.right);
+      for (SegId s = a; s <= b; ++s) {
+        ConnId& cell =
+            occ[static_cast<std::size_t>(p.track)][static_cast<std::size_t>(s)];
+        if (cell != kNoConn && cell != i) {
+          return fail("segment shared by connections " + std::to_string(cell) +
+                      " and " + std::to_string(i));
+        }
+        cell = i;
+        own.emplace(p.track, s);
+      }
+    }
+    if (max_segments && static_cast<int>(own.size()) > *max_segments) {
+      return fail("connection " + std::to_string(i) + " occupies " +
+                  std::to_string(own.size()) + " segments, limit " +
+                  std::to_string(*max_segments));
+    }
+    if (max_tracks_per_conn && r.tracks_used(i) > *max_tracks_per_conn) {
+      return fail("connection " + std::to_string(i) + " uses " +
+                  std::to_string(r.tracks_used(i)) + " tracks, limit " +
+                  std::to_string(*max_tracks_per_conn));
+    }
+  }
+  return {};
+}
+
+}  // namespace segroute

@@ -1,0 +1,77 @@
+// GeneralizedRouting: Definition 2 of the paper — each connection may be
+// split into contiguous parts assigned to different tracks.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/connection.h"
+#include "core/routing.h"
+#include "core/types.h"
+
+namespace segroute {
+
+/// One contiguous part of a split connection: columns [left, right] of the
+/// parent connection, assigned to `track`.
+struct RoutePart {
+  Column left = 0;
+  Column right = 0;
+  TrackId track = kNoTrack;
+
+  friend bool operator==(const RoutePart&, const RoutePart&) = default;
+};
+
+/// A generalized routing: for each connection, an ordered list of parts.
+/// A complete generalized routing covers every connection's span exactly.
+class GeneralizedRouting {
+ public:
+  GeneralizedRouting() = default;
+  explicit GeneralizedRouting(ConnId num_connections)
+      : parts_(static_cast<std::size_t>(num_connections)) {}
+
+  [[nodiscard]] ConnId size() const {
+    return static_cast<ConnId>(parts_.size());
+  }
+  [[nodiscard]] const std::vector<RoutePart>& parts(ConnId c) const {
+    return parts_[c];
+  }
+  std::vector<RoutePart>& parts(ConnId c) { return parts_[c]; }
+
+  /// Appends a part to connection c's route.
+  void add_part(ConnId c, Column left, Column right, TrackId t) {
+    parts_[c].push_back(RoutePart{left, right, t});
+  }
+
+  /// Number of distinct tracks used by connection c.
+  [[nodiscard]] int tracks_used(ConnId c) const;
+
+  /// Number of columns at which connection c changes tracks (p-1 for p
+  /// parts after merging adjacent same-track parts).
+  [[nodiscard]] int track_changes(ConnId c) const;
+
+  /// Merges adjacent parts of a connection that sit on the same track.
+  void normalize();
+
+  /// Lifts a plain (Definition 1) routing: one part per connection.
+  static GeneralizedRouting from_routing(const ConnectionSet& cs,
+                                         const Routing& r);
+
+ private:
+  std::vector<std::vector<RoutePart>> parts_;
+};
+
+/// Validates a generalized routing per Definition 2:
+///  - each connection's parts exactly tile [left, right] in order;
+///  - no segment is occupied by more than one *connection* (two parts of
+///    the same connection may share a segment);
+///  - if `max_segments` is given, each connection occupies at most K
+///    segments in total (counted across all tracks, each segment once);
+///  - if `max_tracks_per_conn` is given, each connection uses at most that
+///    many distinct tracks.
+ValidationResult validate(const SegmentedChannel& ch, const ConnectionSet& cs,
+                          const GeneralizedRouting& r,
+                          std::optional<int> max_segments = std::nullopt,
+                          std::optional<int> max_tracks_per_conn = std::nullopt);
+
+}  // namespace segroute

@@ -1,0 +1,9 @@
+#include "core/segment.h"
+
+namespace segroute {
+
+std::string to_string(const Segment& s) {
+  return "(" + std::to_string(s.left) + ", " + std::to_string(s.right) + ")";
+}
+
+}  // namespace segroute

@@ -1,0 +1,33 @@
+// Segment: a maximal switch-free piece of wiring within one track.
+#pragma once
+
+#include <string>
+
+#include "core/types.h"
+
+namespace segroute {
+
+/// A contiguous run of columns [left, right] (inclusive, 1-based) within a
+/// track, bounded by switches (or the channel ends). Immutable value type.
+struct Segment {
+  Column left = 0;
+  Column right = 0;
+
+  /// Number of columns the segment spans.
+  [[nodiscard]] Column length() const { return right - left + 1; }
+
+  /// True if the segment contains column `c`.
+  [[nodiscard]] bool contains(Column c) const { return left <= c && c <= right; }
+
+  /// True if [left, right] intersects the closed interval [lo, hi].
+  [[nodiscard]] bool overlaps(Column lo, Column hi) const {
+    return left <= hi && lo <= right;
+  }
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// Render as "(left, right)" — the notation used in the paper.
+[[nodiscard]] std::string to_string(const Segment& s);
+
+}  // namespace segroute

@@ -1,0 +1,48 @@
+#include "core/stats.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace segroute {
+
+UtilizationStats utilization(const SegmentedChannel& ch,
+                             const ConnectionSet& cs, const Routing& r) {
+  if (r.size() != cs.size()) {
+    throw std::invalid_argument("utilization: size mismatch");
+  }
+  UtilizationStats st;
+  st.total_segments = ch.total_segments();
+  st.total_columns = ch.num_tracks() * ch.width();
+
+  std::vector<std::vector<bool>> occ(static_cast<std::size_t>(ch.num_tracks()));
+  for (TrackId t = 0; t < ch.num_tracks(); ++t) {
+    occ[static_cast<std::size_t>(t)].assign(
+        static_cast<std::size_t>(ch.track(t).num_segments()), false);
+  }
+  std::vector<bool> touched(static_cast<std::size_t>(ch.num_tracks()), false);
+  for (ConnId i = 0; i < cs.size(); ++i) {
+    if (!r.is_assigned(i)) continue;
+    const TrackId t = r.track_of(i);
+    if (t < 0 || t >= ch.num_tracks()) {
+      throw std::invalid_argument("utilization: bad track id");
+    }
+    st.demanded_columns += cs[i].length();
+    touched[static_cast<std::size_t>(t)] = true;
+    auto [a, b] = ch.track(t).span(cs[i].left, cs[i].right);
+    for (SegId s = a; s <= b; ++s) {
+      occ[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)] = true;
+    }
+  }
+  for (TrackId t = 0; t < ch.num_tracks(); ++t) {
+    if (touched[static_cast<std::size_t>(t)]) ++st.tracks_touched;
+    for (SegId s = 0; s < ch.track(t).num_segments(); ++s) {
+      if (occ[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)]) {
+        ++st.occupied_segments;
+        st.occupied_columns += ch.track(t).segment(s).length();
+      }
+    }
+  }
+  return st;
+}
+
+}  // namespace segroute

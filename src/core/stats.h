@@ -1,0 +1,40 @@
+// Utilization metrics of a routed channel — the waste measures behind
+// the paper's Fig. 2 discussion ("the capacitance problem is only
+// compounded, and the area is excessive").
+#pragma once
+
+#include "core/channel.h"
+#include "core/connection.h"
+#include "core/routing.h"
+
+namespace segroute {
+
+struct UtilizationStats {
+  int total_segments = 0;      // segments in the channel
+  int occupied_segments = 0;   // segments carrying some connection
+  Column total_columns = 0;    // T * N wiring columns
+  Column occupied_columns = 0; // columns of occupied segments
+  Column demanded_columns = 0; // sum of connection lengths
+  int tracks_touched = 0;      // tracks carrying at least one connection
+
+  /// Fraction of channel wiring actually occupied.
+  [[nodiscard]] double wire_utilization() const {
+    return total_columns ? static_cast<double>(occupied_columns) /
+                               static_cast<double>(total_columns)
+                         : 0.0;
+  }
+  /// Overhang factor: occupied wire / demanded wire (>= 1 for complete
+  /// routings; 1.0 means every net got an exact-fit segment set).
+  [[nodiscard]] double overhang() const {
+    return demanded_columns ? static_cast<double>(occupied_columns) /
+                                  static_cast<double>(demanded_columns)
+                            : 0.0;
+  }
+};
+
+/// Computes utilization of a valid (possibly partial) routing.
+/// Throws std::invalid_argument on size mismatch or bad track ids.
+UtilizationStats utilization(const SegmentedChannel& ch,
+                             const ConnectionSet& cs, const Routing& r);
+
+}  // namespace segroute

@@ -1,0 +1,123 @@
+#include "core/track.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace segroute {
+
+namespace {
+
+std::vector<Segment> segments_from_switches(Column width,
+                                            std::vector<Column> sw) {
+  if (width <= 0) {
+    throw std::invalid_argument("Track: width must be positive, got " +
+                                std::to_string(width));
+  }
+  std::sort(sw.begin(), sw.end());
+  if (std::adjacent_find(sw.begin(), sw.end()) != sw.end()) {
+    throw std::invalid_argument("Track: duplicate switch position");
+  }
+  if (!sw.empty() && (sw.front() < 1 || sw.back() >= width)) {
+    throw std::invalid_argument(
+        "Track: switch positions must lie in [1, width-1]");
+  }
+  std::vector<Segment> segs;
+  segs.reserve(sw.size() + 1);
+  Column left = 1;
+  for (Column cut : sw) {
+    segs.push_back(Segment{left, cut});
+    left = cut + 1;
+  }
+  segs.push_back(Segment{left, width});
+  return segs;
+}
+
+}  // namespace
+
+Track::Track(Column width, std::vector<Column> switches_after)
+    : Track(segments_from_switches(width, std::move(switches_after))) {}
+
+Track::Track(std::vector<Segment> segments) : segments_(std::move(segments)) {
+  if (segments_.empty()) {
+    throw std::invalid_argument("Track: need at least one segment");
+  }
+  if (segments_.front().left != 1) {
+    throw std::invalid_argument("Track: first segment must start at column 1");
+  }
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const Segment& s = segments_[i];
+    if (s.left > s.right) {
+      throw std::invalid_argument("Track: empty segment " + to_string(s));
+    }
+    if (i + 1 < segments_.size() && segments_[i + 1].left != s.right + 1) {
+      throw std::invalid_argument("Track: segments not contiguous at " +
+                                  to_string(s));
+    }
+  }
+  width_ = segments_.back().right;
+  build_lookup();
+}
+
+Track Track::from_segments(std::vector<Segment> segments) {
+  return Track(std::move(segments));
+}
+
+Track Track::unsegmented(Column width) { return Track(width, {}); }
+
+Track Track::fully_segmented(Column width) {
+  std::vector<Column> sw;
+  sw.reserve(static_cast<std::size_t>(width > 0 ? width - 1 : 0));
+  for (Column c = 1; c < width; ++c) sw.push_back(c);
+  return Track(width, std::move(sw));
+}
+
+void Track::build_lookup() {
+  seg_of_col_.assign(static_cast<std::size_t>(width_) + 1, 0);
+  for (SegId i = 0; i < num_segments(); ++i) {
+    for (Column c = segments_[i].left; c <= segments_[i].right; ++c) {
+      seg_of_col_[static_cast<std::size_t>(c)] = i;
+    }
+  }
+}
+
+SegId Track::segment_at(Column c) const {
+  if (c < 1 || c > width_) {
+    throw std::out_of_range("Track::segment_at: column " + std::to_string(c) +
+                            " outside [1, " + std::to_string(width_) + "]");
+  }
+  return seg_of_col_[static_cast<std::size_t>(c)];
+}
+
+std::pair<SegId, SegId> Track::span(Column lo, Column hi) const {
+  if (lo > hi) {
+    throw std::invalid_argument("Track::span: lo > hi");
+  }
+  return {segment_at(lo), segment_at(hi)};
+}
+
+int Track::segments_spanned(Column lo, Column hi) const {
+  auto [a, b] = span(lo, hi);
+  return b - a + 1;
+}
+
+Column Track::occupied_length(Column lo, Column hi) const {
+  auto [a, b] = span(lo, hi);
+  return segments_[b].right - segments_[a].left + 1;
+}
+
+std::vector<Column> Track::switch_positions() const {
+  std::vector<Column> sw;
+  sw.reserve(segments_.size() - 1);
+  for (std::size_t i = 0; i + 1 < segments_.size(); ++i) {
+    sw.push_back(segments_[i].right);
+  }
+  return sw;
+}
+
+std::pair<Column, Column> Track::align_to_segments(Column lo, Column hi) const {
+  auto [a, b] = span(lo, hi);
+  return {segments_[a].left, segments_[b].right};
+}
+
+}  // namespace segroute

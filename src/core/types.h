@@ -1,0 +1,33 @@
+// Basic identifier and coordinate types shared across the segroute library.
+//
+// Conventions (matching the paper):
+//  - Columns are 1-based: a channel spans columns 1..N.
+//  - Switches sit *between* adjacent columns; "a switch after column c"
+//    separates column c from column c+1.
+//  - Tracks and connections are handled as 0-based indices internally and
+//    printed 1-based by the io layer.
+#pragma once
+
+#include <cstdint>
+
+namespace segroute {
+
+/// 1-based column coordinate within a channel (1..N).
+using Column = std::int32_t;
+
+/// 0-based track index within a channel (0..T-1).
+using TrackId = std::int32_t;
+
+/// 0-based connection index within a ConnectionSet (0..M-1).
+using ConnId = std::int32_t;
+
+/// 0-based segment index within a track.
+using SegId = std::int32_t;
+
+/// Sentinel for "no track assigned".
+inline constexpr TrackId kNoTrack = -1;
+
+/// Sentinel for "no connection".
+inline constexpr ConnId kNoConn = -1;
+
+}  // namespace segroute

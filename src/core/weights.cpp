@@ -1,0 +1,59 @@
+#include "core/weights.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace segroute {
+
+namespace weights {
+
+WeightFn occupied_length() {
+  return [](const SegmentedChannel& ch, const Connection& c, TrackId t) {
+    return static_cast<double>(ch.track(t).occupied_length(c.left, c.right));
+  };
+}
+
+WeightFn segment_count() {
+  return [](const SegmentedChannel& ch, const Connection& c, TrackId t) {
+    return static_cast<double>(ch.track(t).segments_spanned(c.left, c.right));
+  };
+}
+
+WeightFn segments_capped(int k) {
+  return [k](const SegmentedChannel& ch, const Connection& c, TrackId t) {
+    const int n = ch.track(t).segments_spanned(c.left, c.right);
+    if (n > k) return std::numeric_limits<double>::infinity();
+    return static_cast<double>(n);
+  };
+}
+
+WeightFn wasted_length() {
+  return [](const SegmentedChannel& ch, const Connection& c, TrackId t) {
+    return static_cast<double>(ch.track(t).occupied_length(c.left, c.right) -
+                               c.length());
+  };
+}
+
+WeightFn unit() {
+  return [](const SegmentedChannel&, const Connection&, TrackId) { return 1.0; };
+}
+
+}  // namespace weights
+
+double total_weight(const SegmentedChannel& ch, const ConnectionSet& cs,
+                    const Routing& r, const WeightFn& w) {
+  if (r.size() != cs.size()) {
+    throw std::invalid_argument("total_weight: size mismatch");
+  }
+  double sum = 0;
+  for (ConnId i = 0; i < cs.size(); ++i) {
+    if (!r.is_assigned(i)) {
+      throw std::invalid_argument("total_weight: connection " +
+                                  std::to_string(i) + " unassigned");
+    }
+    sum += w(ch, cs[i], r.track_of(i));
+  }
+  return sum;
+}
+
+}  // namespace segroute

@@ -1,0 +1,45 @@
+// Weight functions w(c, t) for Problem 3 (optimal routing).
+#pragma once
+
+#include <functional>
+
+#include "core/channel.h"
+#include "core/connection.h"
+#include "core/routing.h"
+
+namespace segroute {
+
+/// Cost of assigning connection `c` to track `t` in channel `ch`.
+/// Problem 3 minimizes the sum of these over all connections.
+using WeightFn = std::function<double(const SegmentedChannel& ch,
+                                      const Connection& c, TrackId t)>;
+
+namespace weights {
+
+/// The paper's suggested weight: total length of the segments occupied.
+WeightFn occupied_length();
+
+/// Number of segments occupied. With this weight, Problem 3 subsumes
+/// Problem 2: a routing of total weight <= K*M exists iff ... (per
+/// connection the count is the K-segment quantity); more directly, use
+/// `segments_capped(K)` to forbid assignments above K.
+WeightFn segment_count();
+
+/// Like segment_count() but returns +infinity when more than `k` segments
+/// would be used — encodes the K-segment constraint as a weight
+/// ("with appropriate choice of w(c,t), Problem 3 subsumes Problem 2").
+WeightFn segments_capped(int k);
+
+/// Wasted wire: occupied length minus the connection's own length.
+WeightFn wasted_length();
+
+/// Constant 1 per assignment (turns Problem 3 into Problem 1 feasibility).
+WeightFn unit();
+
+}  // namespace weights
+
+/// Total weight of a complete routing under `w` (sum over connections).
+double total_weight(const SegmentedChannel& ch, const ConnectionSet& cs,
+                    const Routing& r, const WeightFn& w);
+
+}  // namespace segroute

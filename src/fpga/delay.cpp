@@ -1,0 +1,103 @@
+#include "fpga/delay.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace segroute::fpga {
+
+namespace {
+
+/// One lumped element of the RC ladder.
+struct Element {
+  double r;
+  double c;
+};
+
+/// Elmore delay of a ladder: sum over elements of (upstream R + r/2) * c,
+/// plus the full upstream resistance seen by the sink load.
+double elmore(const std::vector<Element>& path, double c_sink) {
+  double r_up = 0.0;
+  double delay = 0.0;
+  for (const Element& e : path) {
+    delay += (r_up + e.r / 2.0) * e.c;
+    r_up += e.r;
+  }
+  delay += r_up * c_sink;
+  return delay;
+}
+
+}  // namespace
+
+double connection_delay(const SegmentedChannel& ch, const Connection& c,
+                        TrackId t, const DelayParams& p) {
+  const Track& tr = ch.track(t);
+  auto [a, b] = tr.span(c.left, c.right);
+  std::vector<Element> path;
+  path.push_back({p.r_driver, 0.0});
+  path.push_back({p.r_switch, p.c_switch});  // entry switch
+  for (SegId s = a; s <= b; ++s) {
+    const double len = static_cast<double>(tr.segment(s).length());
+    path.push_back({p.r_wire * len, p.c_wire * len});
+    if (s != b) path.push_back({p.r_switch, p.c_switch});  // joining switch
+  }
+  path.push_back({p.r_switch, p.c_switch});  // exit switch
+  return elmore(path, p.c_sink);
+}
+
+double connection_delay(const SegmentedChannel& ch, const Connection& c,
+                        const std::vector<RoutePart>& parts,
+                        const DelayParams& p) {
+  if (parts.empty()) {
+    throw std::invalid_argument("connection_delay: empty generalized route");
+  }
+  (void)c;
+  std::vector<Element> path;
+  path.push_back({p.r_driver, 0.0});
+  path.push_back({p.r_switch, p.c_switch});  // entry switch
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const RoutePart& part = parts[i];
+    const Track& tr = ch.track(part.track);
+    auto [a, b] = tr.span(part.left, part.right);
+    for (SegId s = a; s <= b; ++s) {
+      const double len = static_cast<double>(tr.segment(s).length());
+      path.push_back({p.r_wire * len, p.c_wire * len});
+      if (s != b) path.push_back({p.r_switch, p.c_switch});
+    }
+    if (i + 1 < parts.size()) {
+      // A track change needs two programmed switches (through a vertical
+      // jumper segment) instead of one.
+      path.push_back({p.r_switch, p.c_switch});
+      path.push_back({p.r_switch, p.c_switch});
+    }
+  }
+  path.push_back({p.r_switch, p.c_switch});  // exit switch
+  return elmore(path, p.c_sink);
+}
+
+DelayStats routing_delay(const SegmentedChannel& ch, const ConnectionSet& cs,
+                         const Routing& r, const DelayParams& p) {
+  if (r.size() != cs.size()) {
+    throw std::invalid_argument("routing_delay: size mismatch");
+  }
+  DelayStats st;
+  if (cs.size() == 0) return st;
+  double sum = 0.0;
+  for (ConnId i = 0; i < cs.size(); ++i) {
+    if (!r.is_assigned(i)) {
+      throw std::invalid_argument("routing_delay: incomplete routing");
+    }
+    const TrackId t = r.track_of(i);
+    const double d = connection_delay(ch, cs[i], t, p);
+    st.max_delay = std::max(st.max_delay, d);
+    sum += d;
+    st.total_wire +=
+        static_cast<double>(ch.track(t).occupied_length(cs[i].left, cs[i].right));
+    // Switches: entry + exit + (segments - 1) joins.
+    const int switches = 1 + segments_used(ch, cs[i], t);
+    st.max_switches = std::max(st.max_switches, switches);
+  }
+  st.mean_delay = sum / static_cast<double>(cs.size());
+  return st;
+}
+
+}  // namespace segroute::fpga

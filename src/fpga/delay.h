@@ -1,0 +1,57 @@
+// First-order (Elmore) delay model for routed connections — the physics
+// behind the paper's segmentation trade-off (Section I, Fig. 2):
+// "all present technologies offer switches with significant resistance
+// and capacitance ... enforcement of simple limits on the number of
+// segments joined, or their total length, guarantees that the delay will
+// not be unduly increased."
+//
+// A routed connection's path is modelled as an RC ladder:
+//   driver -> entry switch -> segment 1 -> joining switch -> segment 2
+//   -> ... -> exit switch -> sink load,
+// with each occupied segment lumped as (r_wire * len, c_wire * len) and
+// each programmed switch as (r_switch, c_switch). Delay is the Elmore sum
+// over the ladder. Absolute values are arbitrary units; the *shape*
+// (switch count vs capacitance trade-off) is what the experiments use.
+#pragma once
+
+#include "core/channel.h"
+#include "core/connection.h"
+#include "core/generalized.h"
+#include "core/routing.h"
+
+namespace segroute::fpga {
+
+struct DelayParams {
+  double r_driver = 1.0;   // output driver resistance
+  double r_switch = 4.0;   // programmed-switch resistance (dominant in antifuse/pass-FET tech)
+  double c_switch = 0.1;   // programmed-switch capacitance
+  double r_wire = 0.05;    // metal resistance per column
+  double c_wire = 0.2;     // metal capacitance per column
+  double c_sink = 1.0;     // input pin load
+};
+
+/// Elmore delay of connection `c` assigned to track `t` (Definition 1
+/// occupancy: all spanned segments are part of the path). Includes the
+/// entry and exit switches of Fig. 1 plus one joining switch per extra
+/// segment.
+double connection_delay(const SegmentedChannel& ch, const Connection& c,
+                        TrackId t, const DelayParams& p = {});
+
+/// Elmore delay of a generalized route: each track change costs two
+/// switches instead of one (Section II's hardware discussion).
+double connection_delay(const SegmentedChannel& ch, const Connection& c,
+                        const std::vector<RoutePart>& parts,
+                        const DelayParams& p = {});
+
+/// Aggregate delay statistics of a complete routing.
+struct DelayStats {
+  double max_delay = 0.0;
+  double mean_delay = 0.0;
+  double total_wire = 0.0;     // occupied columns, summed
+  int max_switches = 0;        // most programmed switches on any net path
+};
+
+DelayStats routing_delay(const SegmentedChannel& ch, const ConnectionSet& cs,
+                         const Routing& r, const DelayParams& p = {});
+
+}  // namespace segroute::fpga

@@ -1,0 +1,67 @@
+// The channeled-FPGA device model of Fig. 1: rows of logic cells
+// separated by segmented routing channels. Global routing turns a placed
+// netlist into one horizontal trunk connection per net, assigned to one
+// of the channels its pin rows can reach (pins reach the channels
+// directly above and below their row through dedicated vertical
+// segments; rows further away are crossed by vertical feedthroughs,
+// which consume no horizontal track).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/connection.h"
+#include "fpga/delay.h"
+#include "fpga/netlist.h"
+#include "fpga/place.h"
+
+namespace segroute::fpga {
+
+struct DeviceSpec {
+  int rows = 4;            // rows of logic cells
+  int slots_per_row = 16;  // cells per row
+  Column cell_width = 2;   // columns each cell occupies
+
+  /// Number of routing channels (one above each row plus one below).
+  [[nodiscard]] int num_channels() const { return rows + 1; }
+  /// Channel width in columns.
+  [[nodiscard]] Column columns() const { return slots_per_row * cell_width; }
+  /// Column of the vertical pin segment of a cell slot (its center).
+  [[nodiscard]] Column pin_column(int slot) const {
+    return static_cast<Column>(slot) * cell_width + (cell_width + 1) / 2;
+  }
+};
+
+/// Result of global routing: one trunk connection per net, grouped per
+/// channel, with the mapping back to net ids.
+struct GlobalRoute {
+  std::vector<int> channel_of_net;            // per net
+  std::vector<ConnectionSet> per_channel;     // trunk connections
+  std::vector<std::vector<int>> net_of_conn;  // per channel: conn -> net id
+};
+
+/// Greedy congestion-aware global router: processes nets in decreasing
+/// span order and assigns each to the channel (within the rows its pins
+/// touch, +1 below) with the lowest current density over the net's span.
+GlobalRoute global_route(const DeviceSpec& dev, const Netlist& nl,
+                         const Placement& p);
+
+/// Per-channel detailed-routing report for one segmentation scheme.
+struct ChannelReport {
+  int channel = 0;
+  int connections = 0;
+  int density = 0;
+  int tracks_used = -1;  // smallest track count that routed, -1 if > limit
+  DelayStats delay;      // at tracks_used
+};
+
+/// Routes every channel with the DP router on channels produced by
+/// `make_channel(tracks)`, growing tracks until each channel routes (or
+/// `track_limit` is hit). Reports per-channel results.
+std::vector<ChannelReport> route_device(
+    const DeviceSpec& dev, const GlobalRoute& gr,
+    const std::function<SegmentedChannel(int tracks, Column width)>& make_channel,
+    int track_limit, const DelayParams& delay_params = {});
+
+}  // namespace segroute::fpga

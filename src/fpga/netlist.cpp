@@ -1,0 +1,58 @@
+#include "fpga/netlist.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace segroute::fpga {
+
+Netlist::Netlist(int num_cells, std::vector<CellNet> nets)
+    : num_cells_(num_cells), nets_(std::move(nets)) {
+  if (num_cells_ < 1) {
+    throw std::invalid_argument("Netlist: need at least one cell");
+  }
+  for (const CellNet& n : nets_) {
+    if (n.cells.size() < 2) {
+      throw std::invalid_argument("Netlist: nets need at least two cells");
+    }
+    for (int c : n.cells) {
+      if (c < 0 || c >= num_cells_) {
+        throw std::invalid_argument("Netlist: cell id out of range");
+      }
+    }
+    std::set<int> uniq(n.cells.begin(), n.cells.end());
+    if (uniq.size() != n.cells.size()) {
+      throw std::invalid_argument("Netlist: duplicate cell in one net");
+    }
+  }
+}
+
+Netlist random_netlist(int num_cells, int num_nets, int max_fanout,
+                       int locality_window, std::mt19937_64& rng) {
+  if (num_cells < 2 || num_nets < 0 || max_fanout < 2 ||
+      locality_window < 2) {
+    throw std::invalid_argument("random_netlist: bad parameters");
+  }
+  max_fanout = std::min(max_fanout, num_cells);
+  locality_window = std::min(locality_window, num_cells);
+  std::vector<CellNet> nets;
+  nets.reserve(static_cast<std::size_t>(num_nets));
+  std::uniform_int_distribution<int> fan(2, max_fanout);
+  for (int i = 0; i < num_nets; ++i) {
+    const int base = static_cast<int>(
+        rng() % static_cast<unsigned>(num_cells - locality_window + 1));
+    const int k = std::min(fan(rng), locality_window);
+    std::set<int> cells;
+    while (static_cast<int>(cells.size()) < k) {
+      cells.insert(base + static_cast<int>(
+                              rng() % static_cast<unsigned>(locality_window)));
+    }
+    CellNet n;
+    n.cells.assign(cells.begin(), cells.end());
+    n.name = "net" + std::to_string(i);
+    nets.push_back(std::move(n));
+  }
+  return Netlist(num_cells, std::move(nets));
+}
+
+}  // namespace segroute::fpga

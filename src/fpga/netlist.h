@@ -1,0 +1,43 @@
+// A minimal logical netlist over cells — the demand side of the
+// channeled-FPGA model of Fig. 1. Nets connect logical cells; placement
+// (fpga/place.h) gives cells physical positions; global routing
+// (fpga/device.h) turns placed nets into per-channel horizontal
+// connections that segroute's channel routers then assign to segments.
+#pragma once
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace segroute::fpga {
+
+/// A multi-terminal net over logical cell ids (first cell is the driver).
+struct CellNet {
+  std::vector<int> cells;
+  std::string name;
+};
+
+/// A netlist: `num_cells` logical cells and the nets connecting them.
+class Netlist {
+ public:
+  Netlist(int num_cells, std::vector<CellNet> nets);
+
+  [[nodiscard]] int num_cells() const { return num_cells_; }
+  [[nodiscard]] int num_nets() const { return static_cast<int>(nets_.size()); }
+  [[nodiscard]] const CellNet& net(int i) const {
+    return nets_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] const std::vector<CellNet>& nets() const { return nets_; }
+
+ private:
+  int num_cells_;
+  std::vector<CellNet> nets_;
+};
+
+/// Random netlist with locality: each net's cells are drawn from a window
+/// of ids (windows model logical clustering; the placer should recover
+/// it). Fanout is uniform in [2, max_fanout].
+Netlist random_netlist(int num_cells, int num_nets, int max_fanout,
+                       int locality_window, std::mt19937_64& rng);
+
+}  // namespace segroute::fpga

@@ -1,0 +1,157 @@
+#include "fpga/place.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace segroute::fpga {
+
+namespace {
+
+void check_grid(const Netlist& nl, int rows, int slots_per_row) {
+  if (rows < 1 || slots_per_row < 1 ||
+      rows * slots_per_row < nl.num_cells()) {
+    throw std::invalid_argument("placement: grid too small for the netlist");
+  }
+}
+
+/// HPWL contribution of a single net.
+double net_hpwl(const CellNet& net, const Placement& p, double row_weight) {
+  int min_slot = p.slots_per_row, max_slot = -1;
+  int min_row = p.rows, max_row = -1;
+  for (int c : net.cells) {
+    min_slot = std::min(min_slot, p.slot_of(c));
+    max_slot = std::max(max_slot, p.slot_of(c));
+    min_row = std::min(min_row, p.row_of(c));
+    max_row = std::max(max_row, p.row_of(c));
+  }
+  return static_cast<double>(max_slot - min_slot) +
+         row_weight * static_cast<double>(max_row - min_row);
+}
+
+}  // namespace
+
+Placement sequential_placement(const Netlist& nl, int rows, int slots_per_row) {
+  check_grid(nl, rows, slots_per_row);
+  Placement p;
+  p.rows = rows;
+  p.slots_per_row = slots_per_row;
+  p.pos.reserve(static_cast<std::size_t>(nl.num_cells()));
+  for (int c = 0; c < nl.num_cells(); ++c) {
+    p.pos.emplace_back(c / slots_per_row, c % slots_per_row);
+  }
+  return p;
+}
+
+Placement random_placement(const Netlist& nl, int rows, int slots_per_row,
+                           std::mt19937_64& rng) {
+  check_grid(nl, rows, slots_per_row);
+  std::vector<int> slots(static_cast<std::size_t>(rows * slots_per_row));
+  std::iota(slots.begin(), slots.end(), 0);
+  std::shuffle(slots.begin(), slots.end(), rng);
+  Placement p;
+  p.rows = rows;
+  p.slots_per_row = slots_per_row;
+  p.pos.reserve(static_cast<std::size_t>(nl.num_cells()));
+  for (int c = 0; c < nl.num_cells(); ++c) {
+    const int s = slots[static_cast<std::size_t>(c)];
+    p.pos.emplace_back(s / slots_per_row, s % slots_per_row);
+  }
+  return p;
+}
+
+double hpwl(const Netlist& nl, const Placement& p, double row_weight) {
+  double total = 0.0;
+  for (const CellNet& net : nl.nets()) total += net_hpwl(net, p, row_weight);
+  return total;
+}
+
+Placement anneal_placement(const Netlist& nl, Placement start,
+                           std::mt19937_64& rng, const AnnealOptions& opts) {
+  check_grid(nl, start.rows, start.slots_per_row);
+  // Nets touching each cell, for incremental cost evaluation.
+  std::vector<std::vector<int>> nets_of(
+      static_cast<std::size_t>(nl.num_cells()));
+  for (int i = 0; i < nl.num_nets(); ++i) {
+    for (int c : nl.net(i).cells) {
+      nets_of[static_cast<std::size_t>(c)].push_back(i);
+    }
+  }
+  // Occupancy grid: slot -> cell or -1.
+  const int total_slots = start.rows * start.slots_per_row;
+  std::vector<int> cell_at(static_cast<std::size_t>(total_slots), -1);
+  for (int c = 0; c < nl.num_cells(); ++c) {
+    cell_at[static_cast<std::size_t>(start.row_of(c) * start.slots_per_row +
+                                     start.slot_of(c))] = c;
+  }
+
+  Placement cur = std::move(start);
+  Placement best = cur;
+  double best_cost = hpwl(nl, cur, opts.row_weight);
+  double cur_cost = best_cost;
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  const double cooling =
+      std::pow(opts.t_end / opts.t_start,
+               1.0 / std::max(1, opts.iterations - 1));
+  double temp = opts.t_start;
+
+  // Cost over the union of nets touching both cells (a net shared by the
+  // two swapped cells must be counted once, not twice).
+  std::vector<int> touched;
+  std::vector<char> net_mark(static_cast<std::size_t>(nl.num_nets()), 0);
+  auto gather = [&](int cell) {
+    if (cell < 0) return;
+    for (int ni : nets_of[static_cast<std::size_t>(cell)]) {
+      if (!net_mark[static_cast<std::size_t>(ni)]) {
+        net_mark[static_cast<std::size_t>(ni)] = 1;
+        touched.push_back(ni);
+      }
+    }
+  };
+  auto touched_cost = [&]() {
+    double c = 0.0;
+    for (int ni : touched) c += net_hpwl(nl.net(ni), cur, opts.row_weight);
+    return c;
+  };
+
+  for (int it = 0; it < opts.iterations; ++it, temp *= cooling) {
+    const int s1 = static_cast<int>(rng() % static_cast<unsigned>(total_slots));
+    const int s2 = static_cast<int>(rng() % static_cast<unsigned>(total_slots));
+    if (s1 == s2) continue;
+    const int c1 = cell_at[static_cast<std::size_t>(s1)];
+    const int c2 = cell_at[static_cast<std::size_t>(s2)];
+    if (c1 < 0 && c2 < 0) continue;
+
+    for (int ni : touched) net_mark[static_cast<std::size_t>(ni)] = 0;
+    touched.clear();
+    gather(c1);
+    gather(c2);
+    const double before = touched_cost();
+    auto apply = [&](int cell, int slot) {
+      if (cell >= 0) {
+        cur.pos[static_cast<std::size_t>(cell)] = {
+            slot / cur.slots_per_row, slot % cur.slots_per_row};
+      }
+      cell_at[static_cast<std::size_t>(slot)] = cell;
+    };
+    apply(c1, s2);
+    apply(c2, s1);
+    const double after = touched_cost();
+    const double delta = after - before;
+    if (delta <= 0 || unit(rng) < std::exp(-delta / temp)) {
+      cur_cost += delta;
+      if (cur_cost < best_cost) {
+        best_cost = cur_cost;
+        best = cur;
+      }
+    } else {
+      apply(c1, s1);  // revert
+      apply(c2, s2);
+    }
+  }
+  return best;
+}
+
+}  // namespace segroute::fpga

@@ -1,0 +1,52 @@
+// Placement of logical cells onto the row/slot grid of a channeled FPGA
+// (Fig. 1), with a simulated-annealing optimizer minimizing half-
+// perimeter wirelength. A better placement lowers channel densities and
+// therefore the track counts the channel routers need.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "core/types.h"
+#include "fpga/netlist.h"
+
+namespace segroute::fpga {
+
+/// A placement: cell id -> (row, slot). rows * slots_per_row >= num_cells.
+struct Placement {
+  int rows = 0;
+  int slots_per_row = 0;
+  std::vector<std::pair<int, int>> pos;  // per cell
+
+  [[nodiscard]] int row_of(int cell) const {
+    return pos[static_cast<std::size_t>(cell)].first;
+  }
+  [[nodiscard]] int slot_of(int cell) const {
+    return pos[static_cast<std::size_t>(cell)].second;
+  }
+};
+
+/// Cells assigned to slots in id order (deterministic starting point).
+Placement sequential_placement(const Netlist& nl, int rows, int slots_per_row);
+
+/// Random permutation placement.
+Placement random_placement(const Netlist& nl, int rows, int slots_per_row,
+                           std::mt19937_64& rng);
+
+/// Half-perimeter wirelength: for each net, (horizontal slot span) +
+/// `row_weight` * (vertical row span). The standard placement objective.
+double hpwl(const Netlist& nl, const Placement& p, double row_weight = 1.0);
+
+struct AnnealOptions {
+  int iterations = 20000;
+  double t_start = 5.0;
+  double t_end = 0.01;
+  double row_weight = 2.0;  // vertical spans hurt more (feedthroughs)
+};
+
+/// Pairwise-swap simulated annealing from `start`. Returns the best
+/// placement visited; deterministic for a fixed rng state.
+Placement anneal_placement(const Netlist& nl, Placement start,
+                           std::mt19937_64& rng, const AnnealOptions& opts = {});
+
+}  // namespace segroute::fpga

@@ -1,0 +1,102 @@
+#include "gen/segmentation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace segroute::gen {
+
+namespace {
+
+Track gridded_track(Column width, Column segment_length, Column offset) {
+  std::vector<Column> cuts;
+  for (Column c = offset; c < width; c += segment_length) {
+    if (c >= 1) cuts.push_back(c);
+  }
+  return Track(width, std::move(cuts));
+}
+
+}  // namespace
+
+SegmentedChannel uniform_segmentation(TrackId tracks, Column width,
+                                      Column segment_length) {
+  if (segment_length < 1) {
+    throw std::invalid_argument("uniform_segmentation: segment_length >= 1");
+  }
+  std::vector<Track> ts;
+  for (TrackId t = 0; t < tracks; ++t) {
+    ts.push_back(gridded_track(width, segment_length, segment_length));
+  }
+  return SegmentedChannel(std::move(ts));
+}
+
+SegmentedChannel staggered_segmentation(TrackId tracks, Column width,
+                                        Column segment_length) {
+  if (segment_length < 1) {
+    throw std::invalid_argument("staggered_segmentation: segment_length >= 1");
+  }
+  if (tracks < 1) {
+    throw std::invalid_argument("staggered_segmentation: tracks >= 1");
+  }
+  std::vector<Track> ts;
+  for (TrackId t = 0; t < tracks; ++t) {
+    const Column offset = static_cast<Column>(
+        segment_length -
+        (static_cast<std::int64_t>(t) * segment_length) / tracks);
+    ts.push_back(gridded_track(width, segment_length, offset));
+  }
+  return SegmentedChannel(std::move(ts));
+}
+
+SegmentedChannel progressive_segmentation(TrackId tracks, Column width,
+                                          Column base_length, int num_types) {
+  if (base_length < 1 || num_types < 1) {
+    throw std::invalid_argument("progressive_segmentation: bad parameters");
+  }
+  std::vector<Track> ts;
+  for (TrackId t = 0; t < tracks; ++t) {
+    const int type = t % num_types;
+    const Column len =
+        std::min<Column>(width, base_length << std::min(type, 20));
+    ts.push_back(gridded_track(width, len, len));
+  }
+  return SegmentedChannel(std::move(ts));
+}
+
+SegmentedChannel design_segmentation(TrackId tracks, Column width,
+                                     const std::vector<ConnectionSet>& samples,
+                                     double slack) {
+  if (tracks < 1 || width < 1 || slack < 1.0) {
+    throw std::invalid_argument("design_segmentation: bad parameters");
+  }
+  std::vector<Column> lengths;
+  for (const ConnectionSet& cs : samples) {
+    for (const Connection& c : cs.all()) lengths.push_back(c.length());
+  }
+  if (lengths.empty()) {
+    // No data: fall back to a mid-grain staggered grid.
+    return staggered_segmentation(tracks, width, std::max<Column>(1, width / 8));
+  }
+  std::sort(lengths.begin(), lengths.end());
+  std::vector<Track> ts;
+  for (TrackId t = 0; t < tracks; ++t) {
+    // Quantile (t + 0.5) / tracks of the sample length distribution.
+    const std::size_t q = std::min(
+        lengths.size() - 1,
+        static_cast<std::size_t>((static_cast<double>(t) + 0.5) /
+                                 static_cast<double>(tracks) *
+                                 static_cast<double>(lengths.size())));
+    Column len = static_cast<Column>(
+        std::ceil(static_cast<double>(lengths[q]) * slack));
+    len = std::clamp<Column>(len, 1, width);
+    // Stagger tracks sharing a length class.
+    const Column offset =
+        static_cast<Column>(len - (static_cast<std::int64_t>(t) * len /
+                                   std::max<TrackId>(1, tracks)) %
+                                      len);
+    ts.push_back(gridded_track(width, len, offset));
+  }
+  return SegmentedChannel(std::move(ts));
+}
+
+}  // namespace segroute::gen

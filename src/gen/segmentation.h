@@ -1,0 +1,40 @@
+// Segmentation schemes and a sample-driven segmentation designer — the
+// supply side of the trade-off the paper's introduction describes (Fig. 2)
+// and the companion papers [10], [11] optimize.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/connection.h"
+
+namespace segroute::gen {
+
+/// T identical tracks with a switch every `segment_length` columns.
+SegmentedChannel uniform_segmentation(TrackId tracks, Column width,
+                                      Column segment_length);
+
+/// Like uniform_segmentation but track t's switch grid is shifted by
+/// t * segment_length / tracks columns, so switch positions are staggered
+/// across tracks (a net unroutable in one track often fits the next).
+SegmentedChannel staggered_segmentation(TrackId tracks, Column width,
+                                        Column segment_length);
+
+/// Tracks whose segment lengths follow a geometric progression of types:
+/// type k (k = 0..num_types-1) has segments of length base << k; the T
+/// tracks cycle through the types. Mirrors commercial channeled-FPGA
+/// channels that mix short and long segments.
+SegmentedChannel progressive_segmentation(TrackId tracks, Column width,
+                                          Column base_length, int num_types);
+
+/// Designs a channel from sample workloads: segment lengths are chosen
+/// from the empirical quantiles of the samples' connection lengths
+/// (shorter tracks serve short nets, longer tracks long nets), and switch
+/// grids are staggered within each length class. `slack` multiplies each
+/// length (>= 1.0 leaves headroom for imperfect alignment).
+SegmentedChannel design_segmentation(TrackId tracks, Column width,
+                                     const std::vector<ConnectionSet>& samples,
+                                     double slack = 1.3);
+
+}  // namespace segroute::gen

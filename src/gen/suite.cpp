@@ -1,0 +1,82 @@
+#include "gen/suite.h"
+
+#include <random>
+#include <stdexcept>
+
+#include "gen/fixtures.h"
+#include "gen/segmentation.h"
+#include "gen/workload.h"
+
+namespace segroute::gen {
+
+namespace {
+
+ConnectionSet seeded_geometric(int m, Column width, double mean,
+                               std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return geometric_workload(m, width, mean, rng);
+}
+
+ConnectionSet seeded_routable(const SegmentedChannel& ch, int m, double mean,
+                              std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return routable_workload(ch, m, mean, rng);
+}
+
+}  // namespace
+
+std::vector<SuiteInstance> standard_suite() {
+  std::vector<SuiteInstance> suite;
+
+  suite.push_back({"fig2", "the paper's Fig. 2 workload on the uniform K=2 channel",
+                   fixtures::fig2_channel_2segment(), fixtures::fig2_connections(),
+                   /*routable=*/true, /*min_k=*/2, /*optimal_length=*/18});
+  suite.push_back({"fig3", "the paper's running example (Fig. 3)",
+                   fixtures::fig3_channel(), fixtures::fig3_connections(),
+                   true, 1, 20});
+  suite.push_back({"fig4", "Fig. 4: single-track routing impossible",
+                   fixtures::fig4_channel(), fixtures::fig4_connections(),
+                   false, 0, 0});
+  suite.push_back({"fig8", "Fig. 8: the pool-greedy trace instance",
+                   fixtures::fig8_channel(), fixtures::fig8_connections(),
+                   true, 2, 22});
+  suite.push_back({"uniform-tight",
+                   "3 identical tracks, 8 geometric nets near capacity",
+                   SegmentedChannel::identical(3, 24, {6, 12, 18}),
+                   seeded_geometric(8, 24, 4.0, 1001), true, 2, 60});
+  suite.push_back({"staggered-mid",
+                   "5 staggered tracks, 14 nets: just over capacity",
+                   staggered_segmentation(5, 36, 9),
+                   seeded_geometric(14, 36, 5.0, 1002), false, 0, 0});
+  suite.push_back({"progressive-long",
+                   "6 tracks of 3 segment-length types, 16 nets",
+                   progressive_segmentation(6, 48, 4, 3),
+                   seeded_geometric(16, 48, 5.0, 1003), true, 2, 136});
+  suite.push_back({"dense-infeasible",
+                   "2 coarse tracks, 8 nets: over capacity",
+                   SegmentedChannel::identical(2, 16, {8}),
+                   seeded_geometric(8, 16, 4.0, 1004), false, 0, 0});
+  {
+    auto ch = staggered_segmentation(8, 64, 8);
+    auto cs = seeded_routable(ch, 24, 6.0, 1005);
+    suite.push_back({"routable-large",
+                     "8 staggered tracks, 24 nets carved routable",
+                     std::move(ch), std::move(cs), true, 3, 223});
+  }
+  suite.push_back({"express-style",
+                   "alternating short/long segment types, 12 nets: the mix "
+                   "is too coarse for this workload",
+                   progressive_segmentation(4, 40, 5, 2),
+                   seeded_geometric(12, 40, 6.0, 1006), false, 0, 0});
+  return suite;
+}
+
+SuiteInstance suite_instance(const std::string& name) {
+  for (auto& inst : standard_suite()) {
+    if (inst.name == name) return inst;
+  }
+  throw std::invalid_argument("suite_instance: unknown instance '" + name +
+                              "'");
+}
+
+}  // namespace segroute::gen

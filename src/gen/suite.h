@@ -1,0 +1,33 @@
+// A frozen, graded suite of named routing instances — a regression
+// anchor (every instance's routability and optimal weight are pinned by
+// tests) and a starter benchmark set for downstream users, in the spirit
+// of classic channel-routing benchmark collections.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/connection.h"
+
+namespace segroute::gen {
+
+struct SuiteInstance {
+  std::string name;
+  std::string description;
+  SegmentedChannel channel;
+  ConnectionSet connections;
+  bool routable;          // unlimited-segment ground truth (pinned)
+  int min_k;              // smallest K with a K-segment routing; 0 if none
+  double optimal_length;  // minimum total occupied length; 0 if unroutable
+};
+
+/// The ten instances, smallest to largest. Deterministic: generated from
+/// fixed seeds and frozen expectations (tests re-derive every field with
+/// the exact routers).
+std::vector<SuiteInstance> standard_suite();
+
+/// Lookup by name; throws std::invalid_argument if absent.
+SuiteInstance suite_instance(const std::string& name);
+
+}  // namespace segroute::gen

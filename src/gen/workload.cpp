@@ -1,0 +1,116 @@
+#include "gen/workload.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/routing.h"
+
+namespace segroute::gen {
+
+namespace {
+
+Column geometric_length(double mean_length, std::mt19937_64& rng) {
+  if (mean_length <= 1.0) return 1;
+  // Geometric on {1, 2, ...} with mean `mean_length`: success prob 1/mean.
+  std::geometric_distribution<int> g(1.0 / mean_length);
+  return static_cast<Column>(1 + g(rng));
+}
+
+}  // namespace
+
+ConnectionSet uniform_workload(int m, Column width, std::mt19937_64& rng) {
+  if (m < 0 || width < 1) {
+    throw std::invalid_argument("uniform_workload: bad parameters");
+  }
+  std::uniform_int_distribution<Column> col(1, width);
+  ConnectionSet cs;
+  for (int i = 0; i < m; ++i) {
+    Column a = col(rng), b = col(rng);
+    if (a > b) std::swap(a, b);
+    cs.add(a, b);
+  }
+  return cs;
+}
+
+ConnectionSet geometric_workload(int m, Column width, double mean_length,
+                                 std::mt19937_64& rng) {
+  if (m < 0 || width < 1 || mean_length < 1.0) {
+    throw std::invalid_argument("geometric_workload: bad parameters");
+  }
+  std::uniform_int_distribution<Column> col(1, width);
+  ConnectionSet cs;
+  for (int i = 0; i < m; ++i) {
+    const Column left = col(rng);
+    const Column len = geometric_length(mean_length, rng);
+    cs.add(left, std::min<Column>(width, left + len - 1));
+  }
+  return cs;
+}
+
+ConnectionSet routable_workload(const SegmentedChannel& ch, int m,
+                                double mean_length, std::mt19937_64& rng,
+                                int max_segments) {
+  if (m < 0 || mean_length < 1.0) {
+    throw std::invalid_argument("routable_workload: bad parameters");
+  }
+  const Column width = ch.width();
+  Occupancy occ(ch);
+  ConnectionSet cs;
+  std::uniform_int_distribution<Column> col(1, width);
+  std::uniform_int_distribution<TrackId> trk(0, ch.num_tracks() - 1);
+  for (int i = 0; i < m; ++i) {
+    bool placed = false;
+    for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
+      const TrackId t = trk(rng);
+      const Column left = col(rng);
+      Column len = 1;
+      if (mean_length > 1.0) {
+        std::geometric_distribution<int> g(1.0 / mean_length);
+        len = static_cast<Column>(1 + g(rng));
+      }
+      const Column right = std::min<Column>(width, left + len - 1);
+      if (max_segments > 0 &&
+          ch.track(t).segments_spanned(left, right) > max_segments) {
+        continue;
+      }
+      if (occ.place(t, left, right, static_cast<ConnId>(cs.size()))) {
+        cs.add(left, right);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      // Fall back: any still-free segment hosts a single-segment net.
+      for (TrackId t = 0; t < ch.num_tracks() && !placed; ++t) {
+        const Track& tr = ch.track(t);
+        for (SegId s = 0; s < tr.num_segments() && !placed; ++s) {
+          if (occ.occupant(t, s) != kNoConn) continue;
+          const Segment& seg = tr.segment(s);
+          occ.place(t, seg.left, seg.right, static_cast<ConnId>(cs.size()));
+          cs.add(seg.left, seg.right);
+          placed = true;
+        }
+      }
+    }
+    if (!placed) break;  // channel is full
+  }
+  return cs;
+}
+
+ConnectionSet poisson_workload(Column width, double lambda, double mean_length,
+                               std::mt19937_64& rng) {
+  if (width < 1 || lambda < 0 || mean_length < 1.0) {
+    throw std::invalid_argument("poisson_workload: bad parameters");
+  }
+  std::poisson_distribution<int> arrivals(lambda);
+  ConnectionSet cs;
+  for (Column c = 1; c <= width; ++c) {
+    const int k = arrivals(rng);
+    for (int i = 0; i < k; ++i) {
+      const Column len = geometric_length(mean_length, rng);
+      cs.add(c, std::min<Column>(width, c + len - 1));
+    }
+  }
+  return cs;
+}
+
+}  // namespace segroute::gen

@@ -1,0 +1,38 @@
+// Random connection workloads for experiments and property tests.
+#pragma once
+
+#include <random>
+
+#include "core/connection.h"
+
+namespace segroute::gen {
+
+/// M connections with uniformly random endpoints in [1, width].
+ConnectionSet uniform_workload(int m, Column width, std::mt19937_64& rng);
+
+/// M connections whose left ends are uniform and whose lengths are
+/// geometric with the given mean (clipped to the channel) — the
+/// two-dimensional stochastic interconnection model of El Gamal [9],
+/// specialized to a single channel, which the companion papers [10], [11]
+/// use to design and evaluate segmentations.
+ConnectionSet geometric_workload(int m, Column width, double mean_length,
+                                 std::mt19937_64& rng);
+
+/// Connections generated column-by-column with Poisson arrivals of rate
+/// `lambda` per column and geometric lengths; the expected channel
+/// density is roughly lambda * mean_length.
+ConnectionSet poisson_workload(Column width, double lambda, double mean_length,
+                               std::mt19937_64& rng);
+
+/// A workload that is routable in `ch` *by construction*: each connection
+/// is carved out of segments that are still free, so the generating
+/// placement is a witness routing. Useful for success-rate experiments
+/// where the ground truth must be YES (e.g. the Section IV-C LP
+/// simulations). If `max_segments` > 0 each connection occupies at most
+/// that many segments in the witness. May return fewer than `m`
+/// connections when the channel fills up.
+ConnectionSet routable_workload(const SegmentedChannel& ch, int m,
+                                double mean_length, std::mt19937_64& rng,
+                                int max_segments = 0);
+
+}  // namespace segroute::gen

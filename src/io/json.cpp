@@ -1,0 +1,135 @@
+#include "io/json.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace segroute::io {
+
+namespace {
+
+std::string num(double v) {
+  std::ostringstream out;
+  out << std::setprecision(12) << v;
+  return out.str();
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream esc;
+          esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c);
+          out += esc.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const SegmentedChannel& ch) {
+  std::ostringstream out;
+  out << "{\"width\": " << ch.width() << ", \"tracks\": [";
+  for (TrackId t = 0; t < ch.num_tracks(); ++t) {
+    if (t) out << ", ";
+    out << "[";
+    const auto cuts = ch.track(t).switch_positions();
+    for (std::size_t i = 0; i < cuts.size(); ++i) {
+      if (i) out << ", ";
+      out << cuts[i];
+    }
+    out << "]";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string to_json(const ConnectionSet& cs) {
+  std::ostringstream out;
+  out << "{\"connections\": [";
+  for (ConnId i = 0; i < cs.size(); ++i) {
+    if (i) out << ", ";
+    out << "{\"left\": " << cs[i].left << ", \"right\": " << cs[i].right;
+    if (!cs[i].name.empty()) {
+      out << ", \"name\": \"" << json_escape(cs[i].name) << "\"";
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string to_json(const Routing& r) {
+  std::ostringstream out;
+  out << "{\"assignments\": [";
+  for (ConnId i = 0; i < r.size(); ++i) {
+    if (i) out << ", ";
+    if (r.is_assigned(i)) {
+      out << r.track_of(i);
+    } else {
+      out << "null";
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string to_json(const GeneralizedRouting& r) {
+  std::ostringstream out;
+  out << "{\"parts\": [";
+  for (ConnId i = 0; i < r.size(); ++i) {
+    if (i) out << ", ";
+    out << "[";
+    const auto& parts = r.parts(i);
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+      if (p) out << ", ";
+      out << "{\"left\": " << parts[p].left << ", \"right\": "
+          << parts[p].right << ", \"track\": " << parts[p].track << "}";
+    }
+    out << "]";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string to_json(const alg::RouteResult& r) {
+  std::ostringstream out;
+  out << "{\"success\": " << (r.success ? "true" : "false")
+      << ", \"weight\": " << num(r.weight) << ", \"note\": \""
+      << json_escape(r.note) << "\", \"stats\": {\"total_nodes\": "
+      << r.stats.total_nodes << ", \"max_level_nodes\": "
+      << r.stats.max_level_nodes << ", \"iterations\": "
+      << r.stats.iterations << ", \"lp_objective\": "
+      << num(r.stats.lp_objective) << ", \"lp_integral\": "
+      << (r.stats.lp_integral ? "true" : "false")
+      << ", \"rounding_passes\": " << r.stats.rounding_passes
+      << "}, \"routing\": " << to_json(r.routing) << "}";
+  return out.str();
+}
+
+std::string to_json(const UtilizationStats& st) {
+  std::ostringstream out;
+  out << "{\"total_segments\": " << st.total_segments
+      << ", \"occupied_segments\": " << st.occupied_segments
+      << ", \"total_columns\": " << st.total_columns
+      << ", \"occupied_columns\": " << st.occupied_columns
+      << ", \"demanded_columns\": " << st.demanded_columns
+      << ", \"tracks_touched\": " << st.tracks_touched
+      << ", \"wire_utilization\": " << num(st.wire_utilization())
+      << ", \"overhang\": " << num(st.overhang()) << "}";
+  return out.str();
+}
+
+}  // namespace segroute::io

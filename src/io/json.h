@@ -1,0 +1,39 @@
+// Minimal JSON export for machine-readable experiment pipelines:
+// channels, connection sets, routings and route statistics. Emission
+// only (parsing stays with the text format in io/text.h); output is
+// deterministic and stable for golden-file diffs.
+#pragma once
+
+#include <string>
+
+#include "alg/result.h"
+#include "core/channel.h"
+#include "core/connection.h"
+#include "core/generalized.h"
+#include "core/routing.h"
+#include "core/stats.h"
+
+namespace segroute::io {
+
+/// {"width": N, "tracks": [[cut, ...], ...]}
+std::string to_json(const SegmentedChannel& ch);
+
+/// {"connections": [{"left": l, "right": r, "name": "..."}, ...]}
+std::string to_json(const ConnectionSet& cs);
+
+/// {"assignments": [t0, t1, ...]} with null for unassigned connections.
+std::string to_json(const Routing& r);
+
+/// {"parts": [[{"left": .., "right": .., "track": ..}, ...], ...]}
+std::string to_json(const GeneralizedRouting& r);
+
+/// {"success": .., "weight": .., "note": "..", "stats": {...}}
+std::string to_json(const alg::RouteResult& r);
+
+/// {"total_segments": .., "wire_utilization": .., ...}
+std::string to_json(const UtilizationStats& st);
+
+/// Escapes a string for embedding in JSON output.
+std::string json_escape(const std::string& s);
+
+}  // namespace segroute::io

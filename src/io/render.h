@@ -1,0 +1,32 @@
+// ASCII renderings of channels and routings in the style of the paper's
+// figures: connections above, tracks below, 'o' at switch gaps and '='
+// along occupied segments.
+#pragma once
+
+#include <string>
+
+#include "core/channel.h"
+#include "core/connection.h"
+#include "core/generalized.h"
+#include "core/routing.h"
+
+namespace segroute::io {
+
+/// The connection set, one line per connection: spans drawn with dashes.
+std::string render(const ConnectionSet& cs, Column width);
+
+/// The channel, one line per track: segments as runs of '-' separated by
+/// 'o' switches.
+std::string render(const SegmentedChannel& ch);
+
+/// A routed channel: occupied segments show the connection's index (last
+/// digit) or name initial; free columns keep '-'/'o'.
+std::string render(const SegmentedChannel& ch, const ConnectionSet& cs,
+                   const Routing& r);
+
+/// A routed channel under a generalized routing (parts labelled per
+/// parent connection).
+std::string render(const SegmentedChannel& ch, const ConnectionSet& cs,
+                   const GeneralizedRouting& r);
+
+}  // namespace segroute::io

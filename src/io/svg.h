@@ -1,0 +1,34 @@
+// SVG renderer: publication-quality figures of channels and routings in
+// the visual style of the paper's Fig. 3 — tracks as horizontal lines,
+// switches as open circles, occupied segments as colored bars, the
+// connection list drawn above the channel.
+#pragma once
+
+#include <string>
+
+#include "core/channel.h"
+#include "core/connection.h"
+#include "core/generalized.h"
+#include "core/routing.h"
+
+namespace segroute::io {
+
+struct SvgOptions {
+  int column_px = 28;   // horizontal pixels per column
+  int row_px = 26;      // vertical pixels per track / connection row
+  bool show_labels = true;
+};
+
+/// The channel alone (segments and switches).
+std::string to_svg(const SegmentedChannel& ch, const SvgOptions& opts = {});
+
+/// Channel + connections above it; if `r` is non-null, occupied segments
+/// are drawn as colored bars (one color per connection, cycling).
+std::string to_svg(const SegmentedChannel& ch, const ConnectionSet& cs,
+                   const Routing* r = nullptr, const SvgOptions& opts = {});
+
+/// Generalized routing: parts rendered per track with the parent's color.
+std::string to_svg(const SegmentedChannel& ch, const ConnectionSet& cs,
+                   const GeneralizedRouting& r, const SvgOptions& opts = {});
+
+}  // namespace segroute::io

@@ -1,0 +1,33 @@
+// Minimal fixed-width table printer used by every experiment bench so
+// their output reads like the tables in a paper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace segroute::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed content: formats doubles with `precision`.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::int64_t v);
+  static std::string num(std::uint64_t v);
+  static std::string num(int v);
+
+  /// Renders with a header rule and right-aligned numeric-looking cells.
+  [[nodiscard]] std::string str() const;
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace segroute::io

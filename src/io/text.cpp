@@ -1,0 +1,139 @@
+#include "io/text.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace segroute::io {
+
+std::string to_text(const SegmentedChannel& ch) {
+  std::ostringstream out;
+  out << "channel " << ch.width() << "\n";
+  for (TrackId t = 0; t < ch.num_tracks(); ++t) {
+    out << "track";
+    for (Column c : ch.track(t).switch_positions()) out << ' ' << c;
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string to_text(const ConnectionSet& cs) {
+  std::ostringstream out;
+  out << "connections\n";
+  for (const Connection& c : cs.all()) {
+    out << "conn " << c.left << ' ' << c.right;
+    if (!c.name.empty()) out << ' ' << c.name;
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string to_text(const Routing& r) {
+  std::ostringstream out;
+  out << "routing\n";
+  for (ConnId i = 0; i < r.size(); ++i) {
+    if (r.is_assigned(i)) {
+      out << "assign " << i << ' ' << r.track_of(i) << "\n";
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Reads lines, skipping blanks and '#' comments; returns false at EOF.
+bool next_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    const auto pos = line.find('#');
+    if (pos != std::string::npos) line.erase(pos);
+    bool blank = true;
+    for (char c : line) {
+      if (!isspace(static_cast<unsigned char>(c))) {
+        blank = false;
+        break;
+      }
+    }
+    if (!blank) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SegmentedChannel parse_channel(std::istream& in) {
+  std::string line;
+  if (!next_line(in, line)) {
+    throw std::invalid_argument("parse_channel: empty input");
+  }
+  std::istringstream head(line);
+  std::string kw;
+  Column width = 0;
+  head >> kw >> width;
+  if (kw != "channel" || width < 1) {
+    throw std::invalid_argument("parse_channel: expected 'channel <width>'");
+  }
+  std::vector<Track> tracks;
+  std::streampos before = in.tellg();
+  while (next_line(in, line)) {
+    std::istringstream ls(line);
+    ls >> kw;
+    if (kw != "track") {
+      // Not ours: rewind so a following section parser can consume it.
+      in.seekg(before);
+      break;
+    }
+    std::vector<Column> cuts;
+    Column c;
+    while (ls >> c) cuts.push_back(c);
+    tracks.emplace_back(width, std::move(cuts));
+    before = in.tellg();
+  }
+  if (tracks.empty()) {
+    throw std::invalid_argument("parse_channel: no tracks");
+  }
+  return SegmentedChannel(std::move(tracks));
+}
+
+SegmentedChannel parse_channel(const std::string& text) {
+  std::istringstream in(text);
+  return parse_channel(in);
+}
+
+ConnectionSet parse_connections(std::istream& in) {
+  std::string line;
+  if (!next_line(in, line)) {
+    throw std::invalid_argument("parse_connections: empty input");
+  }
+  std::istringstream head(line);
+  std::string kw;
+  head >> kw;
+  if (kw != "connections") {
+    throw std::invalid_argument(
+        "parse_connections: expected 'connections' header");
+  }
+  ConnectionSet cs;
+  std::streampos before = in.tellg();
+  while (next_line(in, line)) {
+    std::istringstream ls(line);
+    ls >> kw;
+    if (kw != "conn") {
+      in.seekg(before);
+      break;
+    }
+    Column l = 0, r = 0;
+    std::string name;
+    if (!(ls >> l >> r)) {
+      throw std::invalid_argument("parse_connections: malformed conn line");
+    }
+    ls >> name;  // optional
+    cs.add(l, r, std::move(name));
+    before = in.tellg();
+  }
+  return cs;
+}
+
+ConnectionSet parse_connections(const std::string& text) {
+  std::istringstream in(text);
+  return parse_connections(in);
+}
+
+}  // namespace segroute::io

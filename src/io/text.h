@@ -1,0 +1,34 @@
+// Plain-text (de)serialization of channels, connection sets and routings.
+//
+// Format (line oriented, '#' comments):
+//   channel <width>
+//   track <cut1> <cut2> ...      # one line per track; cuts may be empty
+//   connections
+//   conn <left> <right> [name]
+//   routing
+//   assign <conn-index> <track-index>   # 0-based
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/channel.h"
+#include "core/connection.h"
+#include "core/routing.h"
+
+namespace segroute::io {
+
+std::string to_text(const SegmentedChannel& ch);
+std::string to_text(const ConnectionSet& cs);
+std::string to_text(const Routing& r);
+
+/// Parses a channel from the `channel`/`track` lines of `in`.
+/// Throws std::invalid_argument on malformed input.
+SegmentedChannel parse_channel(std::istream& in);
+SegmentedChannel parse_channel(const std::string& text);
+
+/// Parses a connection set from `connections`/`conn` lines.
+ConnectionSet parse_connections(std::istream& in);
+ConnectionSet parse_connections(const std::string& text);
+
+}  // namespace segroute::io

@@ -1,0 +1,290 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace segroute::lp {
+
+int Problem::add_variable(double obj) {
+  obj_.push_back(obj);
+  return static_cast<int>(obj_.size()) - 1;
+}
+
+void Problem::add_constraint(std::vector<std::pair<int, double>> terms,
+                             Relation rel, double rhs) {
+  for (auto [v, c] : terms) {
+    if (v < 0 || v >= num_variables()) {
+      throw std::invalid_argument("Problem::add_constraint: bad variable index");
+    }
+    (void)c;
+  }
+  rows_.push_back(Row{std::move(terms), rel, rhs});
+}
+
+void Problem::add_upper_bound(int var, double ub) {
+  add_constraint({{var, 1.0}}, Relation::LessEq, ub);
+}
+
+namespace {
+
+/// Dense simplex tableau. Rows 0..m-1 are constraints; row m is the
+/// objective (reduced costs, maximization: we pivot while some reduced
+/// cost is positive... we store the objective row as z-row with negated
+/// coefficients so optimality = all entries >= 0).
+class Tableau {
+ public:
+  Tableau(int m, int n) : m_(m), n_(n), a_(static_cast<std::size_t>(m + 1) *
+                                           static_cast<std::size_t>(n + 1), 0.0),
+                          basis_(static_cast<std::size_t>(m), -1) {}
+
+  double& at(int r, int c) {
+    return a_[static_cast<std::size_t>(r) * static_cast<std::size_t>(n_ + 1) +
+              static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] double at(int r, int c) const {
+    return a_[static_cast<std::size_t>(r) * static_cast<std::size_t>(n_ + 1) +
+              static_cast<std::size_t>(c)];
+  }
+  double& rhs(int r) { return at(r, n_); }
+  [[nodiscard]] double rhs(int r) const { return at(r, n_); }
+
+  [[nodiscard]] int rows() const { return m_; }
+  [[nodiscard]] int cols() const { return n_; }
+  [[nodiscard]] int basis(int r) const { return basis_[static_cast<std::size_t>(r)]; }
+  void set_basis(int r, int v) { basis_[static_cast<std::size_t>(r)] = v; }
+
+  /// Pivot on (row, col): scale the pivot row, eliminate the column
+  /// elsewhere (including the objective row m_).
+  void pivot(int row, int col) {
+    const double piv = at(row, col);
+    const double inv = 1.0 / piv;
+    for (int c = 0; c <= n_; ++c) at(row, c) *= inv;
+    at(row, col) = 1.0;  // exact
+    for (int r = 0; r <= m_; ++r) {
+      if (r == row) continue;
+      const double f = at(r, col);
+      if (f == 0.0) continue;
+      for (int c = 0; c <= n_; ++c) at(r, c) -= f * at(row, c);
+      at(r, col) = 0.0;  // exact
+    }
+    basis_[static_cast<std::size_t>(row)] = col;
+  }
+
+ private:
+  int m_, n_;
+  std::vector<double> a_;
+  std::vector<int> basis_;
+};
+
+/// Runs primal simplex iterations on `t` until optimal/unbounded/limit.
+/// Only columns < `entering_limit` may enter the basis (phase 2 passes
+/// the first artificial column here so artificials can never re-enter —
+/// a positive reduced cost at installation time is not preserved by
+/// later pivots).
+Status iterate(Tableau& t, const SolveOptions& opts, int& iters,
+               int entering_limit) {
+  const double eps = opts.tolerance;
+  const int m = t.rows();
+  const int n = entering_limit;
+  // Switch to Bland's rule after a budget proportional to problem size to
+  // break any cycling that Dantzig pricing might cause.
+  const int bland_after = 20 * (m + n);
+  int local_iter = 0;
+  while (true) {
+    if (iters >= opts.max_iterations) return Status::IterationLimit;
+    // Entering column: objective-row entry < -eps.
+    int enter = -1;
+    if (local_iter < bland_after) {
+      double best = -eps;
+      for (int c = 0; c < n; ++c) {
+        if (t.at(m, c) < best) {
+          best = t.at(m, c);
+          enter = c;
+        }
+      }
+    } else {
+      for (int c = 0; c < n; ++c) {
+        if (t.at(m, c) < -eps) {
+          enter = c;
+          break;
+        }
+      }
+    }
+    if (enter == -1) return Status::Optimal;
+    // Leaving row: min ratio rhs/coef over coef > eps; Bland tie-break by
+    // smallest basis variable index.
+    int leave = -1;
+    double best_ratio = 0.0;
+    for (int r = 0; r < m; ++r) {
+      const double coef = t.at(r, enter);
+      if (coef > eps) {
+        const double ratio = t.rhs(r) / coef;
+        if (leave == -1 || ratio < best_ratio - eps ||
+            (ratio < best_ratio + eps && t.basis(r) < t.basis(leave))) {
+          leave = r;
+          best_ratio = ratio;
+        }
+      }
+    }
+    if (leave == -1) return Status::Unbounded;
+    t.pivot(leave, enter);
+    ++iters;
+    ++local_iter;
+  }
+}
+
+}  // namespace
+
+Solution solve(const Problem& p, const SolveOptions& opts) {
+  const int n = p.num_variables();
+  const int m = p.num_constraints();
+
+  // Column layout: [0, n) structural, then one slack/surplus per inequality
+  // row, then one artificial per >=/= row (and per <= row with negative rhs
+  // normalization handled by sign flip below).
+  int n_slack = 0;
+  for (const auto& row : p.rows()) {
+    if (row.rel != Relation::Equal) ++n_slack;
+  }
+
+  // First pass to count artificials: a row needs one unless it is a <= row
+  // whose slack can serve as the initial basic variable (requires rhs >= 0
+  // after normalization).
+  struct RowPlan {
+    double sign = 1.0;  // multiply row by this to make rhs >= 0
+    Relation rel;       // relation after sign flip
+    int slack = -1;     // column of slack/surplus, or -1
+    int artificial = -1;
+  };
+  std::vector<RowPlan> plan(static_cast<std::size_t>(m));
+  int next_col = n;
+  for (int r = 0; r < m; ++r) {
+    const auto& row = p.rows()[static_cast<std::size_t>(r)];
+    RowPlan& pl = plan[static_cast<std::size_t>(r)];
+    pl.rel = row.rel;
+    if (row.rhs < 0) {
+      pl.sign = -1.0;
+      if (row.rel == Relation::LessEq) pl.rel = Relation::GreaterEq;
+      else if (row.rel == Relation::GreaterEq) pl.rel = Relation::LessEq;
+    }
+    if (pl.rel != Relation::Equal) pl.slack = next_col++;
+  }
+  int n_art = 0;
+  for (int r = 0; r < m; ++r) {
+    RowPlan& pl = plan[static_cast<std::size_t>(r)];
+    if (pl.rel != Relation::LessEq) {
+      pl.artificial = next_col++;
+      ++n_art;
+    }
+  }
+  const int n_total = next_col;
+
+  Tableau t(m, n_total);
+  for (int r = 0; r < m; ++r) {
+    const auto& row = p.rows()[static_cast<std::size_t>(r)];
+    const RowPlan& pl = plan[static_cast<std::size_t>(r)];
+    for (auto [v, c] : row.terms) t.at(r, v) += pl.sign * c;
+    t.rhs(r) = pl.sign * row.rhs;
+    if (pl.slack != -1) {
+      t.at(r, pl.slack) = (pl.rel == Relation::LessEq) ? 1.0 : -1.0;
+    }
+    if (pl.artificial != -1) {
+      t.at(r, pl.artificial) = 1.0;
+      t.set_basis(r, pl.artificial);
+    } else {
+      t.set_basis(r, pl.slack);
+    }
+  }
+
+  Solution sol;
+  int iters = 0;
+
+  if (n_art > 0) {
+    // Phase 1: minimize sum of artificials == maximize -sum. Objective row
+    // holds z-row entries; initialize by pricing out the basic artificials.
+    for (int r = 0; r < m; ++r) {
+      const RowPlan& pl = plan[static_cast<std::size_t>(r)];
+      if (pl.artificial == -1) continue;
+      for (int c = 0; c <= n_total; ++c) t.at(m, c) -= t.at(r, c);
+      t.at(m, pl.artificial) = 0.0;
+    }
+    const Status s1 = iterate(t, opts, iters, n_total);
+    if (s1 == Status::IterationLimit) {
+      sol.status = s1;
+      sol.iterations = iters;
+      return sol;
+    }
+    // Phase-1 optimum is -(sum of artificials) stored as rhs of the z-row
+    // with sign flipped by construction; recompute directly for clarity.
+    double art_sum = 0.0;
+    for (int r = 0; r < m; ++r) {
+      const int b = t.basis(r);
+      bool is_art = false;
+      for (const auto& pl : plan) {
+        if (pl.artificial == b) { is_art = true; break; }
+      }
+      if (is_art) art_sum += t.rhs(r);
+    }
+    if (art_sum > 1e-7) {
+      sol.status = Status::Infeasible;
+      sol.iterations = iters;
+      return sol;
+    }
+    // Drive any remaining (degenerate, value-0) artificials out of the basis.
+    for (int r = 0; r < m; ++r) {
+      const int b = t.basis(r);
+      bool is_art = false;
+      for (const auto& pl : plan) {
+        if (pl.artificial == b) { is_art = true; break; }
+      }
+      if (!is_art) continue;
+      int enter = -1;
+      for (int c = 0; c < n + n_slack; ++c) {
+        if (std::abs(t.at(r, c)) > opts.tolerance) { enter = c; break; }
+      }
+      if (enter != -1) t.pivot(r, enter);
+      // else: the row is all-zero over real columns — redundant constraint;
+      // the artificial stays basic at value 0 and is harmless in phase 2
+      // because its column is excluded from pricing below.
+    }
+  }
+
+  // Phase 2: install the real objective row (z-row: -obj priced out over
+  // the current basis), and forbid artificial columns by zeroing... we
+  // instead give them strongly penalized reduced costs by leaving their
+  // z-row entries at +1 (any positive value keeps them non-entering).
+  for (int c = 0; c <= n_total; ++c) t.at(m, c) = 0.0;
+  for (int v = 0; v < n; ++v) t.at(m, v) = -p.objective()[static_cast<std::size_t>(v)];
+  for (const auto& pl : plan) {
+    if (pl.artificial != -1) t.at(m, pl.artificial) = 1.0;
+  }
+  // Price out basic variables.
+  for (int r = 0; r < m; ++r) {
+    const int b = t.basis(r);
+    const double f = t.at(m, b);
+    if (f == 0.0) continue;
+    for (int c = 0; c <= n_total; ++c) t.at(m, c) -= f * t.at(r, c);
+    t.at(m, b) = 0.0;
+  }
+
+  const Status s2 = iterate(t, opts, iters, n + n_slack);
+  sol.status = s2;
+  sol.iterations = iters;
+  if (s2 != Status::Optimal) return sol;
+
+  sol.x.assign(static_cast<std::size_t>(n), 0.0);
+  for (int r = 0; r < m; ++r) {
+    const int b = t.basis(r);
+    if (b < n) sol.x[static_cast<std::size_t>(b)] = t.rhs(r);
+  }
+  double obj = 0.0;
+  for (int v = 0; v < n; ++v) {
+    obj += p.objective()[static_cast<std::size_t>(v)] *
+           sol.x[static_cast<std::size_t>(v)];
+  }
+  sol.objective = obj;
+  return sol;
+}
+
+}  // namespace segroute::lp

@@ -1,0 +1,72 @@
+// A self-contained dense two-phase primal simplex solver.
+//
+// Substrate for the Section IV-C linear-programming routing heuristic.
+// Scope: small/medium dense LPs (thousands of variables, hundreds of
+// rows) — exactly the scale of the paper's simulations (M=60, T=25).
+#pragma once
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace segroute::lp {
+
+enum class Relation { LessEq, GreaterEq, Equal };
+
+enum class Status { Optimal, Infeasible, Unbounded, IterationLimit };
+
+/// A linear program over variables x_0..x_{n-1} with implicit bounds
+/// x_j >= 0. Upper bounds are expressed as ordinary rows. The objective
+/// is maximized.
+class Problem {
+ public:
+  /// Adds a variable with objective coefficient `obj`; returns its index.
+  int add_variable(double obj = 0.0);
+
+  /// Adds the row  sum(coef_k * x_{var_k})  rel  rhs.
+  void add_constraint(std::vector<std::pair<int, double>> terms, Relation rel,
+                      double rhs);
+
+  /// Convenience: x_j <= ub.
+  void add_upper_bound(int var, double ub);
+
+  [[nodiscard]] int num_variables() const {
+    return static_cast<int>(obj_.size());
+  }
+  [[nodiscard]] int num_constraints() const {
+    return static_cast<int>(rows_.size());
+  }
+
+  struct Row {
+    std::vector<std::pair<int, double>> terms;
+    Relation rel;
+    double rhs;
+  };
+
+  [[nodiscard]] const std::vector<double>& objective() const { return obj_; }
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<double> obj_;
+  std::vector<Row> rows_;
+};
+
+struct Solution {
+  Status status = Status::Infeasible;
+  double objective = 0.0;
+  std::vector<double> x;  // primal values (size = num_variables) if Optimal
+  int iterations = 0;
+
+  [[nodiscard]] bool optimal() const { return status == Status::Optimal; }
+};
+
+struct SolveOptions {
+  int max_iterations = 200000;
+  double tolerance = 1e-9;
+};
+
+/// Solves `p` (maximization) with two-phase primal simplex. Dantzig pricing
+/// with a Bland's-rule fallback guarantees termination.
+Solution solve(const Problem& p, const SolveOptions& opts = {});
+
+}  // namespace segroute::lp

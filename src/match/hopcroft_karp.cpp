@@ -1,0 +1,88 @@
+#include "match/hopcroft_karp.h"
+
+#include <functional>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace segroute::match {
+
+namespace {
+constexpr int kInf = std::numeric_limits<int>::max();
+}
+
+BipartiteGraph::BipartiteGraph(int num_left, int num_right)
+    : adj_(static_cast<std::size_t>(num_left < 0 ? 0 : num_left)),
+      num_right_(num_right) {
+  if (num_left < 0 || num_right < 0) {
+    throw std::invalid_argument("BipartiteGraph: negative vertex count");
+  }
+}
+
+void BipartiteGraph::add_edge(int left, int right) {
+  if (left < 0 || left >= num_left() || right < 0 || right >= num_right_) {
+    throw std::out_of_range("BipartiteGraph::add_edge: vertex out of range");
+  }
+  adj_[static_cast<std::size_t>(left)].push_back(right);
+}
+
+MatchingResult hopcroft_karp(const BipartiteGraph& g) {
+  const int nl = g.num_left();
+  const int nr = g.num_right();
+  std::vector<int> match_l(static_cast<std::size_t>(nl), -1);
+  std::vector<int> match_r(static_cast<std::size_t>(nr), -1);
+  std::vector<int> dist(static_cast<std::size_t>(nl), kInf);
+
+  auto bfs = [&]() -> bool {
+    std::queue<int> q;
+    for (int u = 0; u < nl; ++u) {
+      if (match_l[static_cast<std::size_t>(u)] == -1) {
+        dist[static_cast<std::size_t>(u)] = 0;
+        q.push(u);
+      } else {
+        dist[static_cast<std::size_t>(u)] = kInf;
+      }
+    }
+    bool found_free = false;
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (int v : g.neighbors(u)) {
+        const int w = match_r[static_cast<std::size_t>(v)];
+        if (w == -1) {
+          found_free = true;
+        } else if (dist[static_cast<std::size_t>(w)] == kInf) {
+          dist[static_cast<std::size_t>(w)] =
+              dist[static_cast<std::size_t>(u)] + 1;
+          q.push(w);
+        }
+      }
+    }
+    return found_free;
+  };
+
+  std::function<bool(int)> dfs = [&](int u) -> bool {
+    for (int v : g.neighbors(u)) {
+      const int w = match_r[static_cast<std::size_t>(v)];
+      if (w == -1 || (dist[static_cast<std::size_t>(w)] ==
+                          dist[static_cast<std::size_t>(u)] + 1 &&
+                      dfs(w))) {
+        match_l[static_cast<std::size_t>(u)] = v;
+        match_r[static_cast<std::size_t>(v)] = u;
+        return true;
+      }
+    }
+    dist[static_cast<std::size_t>(u)] = kInf;
+    return false;
+  };
+
+  int size = 0;
+  while (bfs()) {
+    for (int u = 0; u < nl; ++u) {
+      if (match_l[static_cast<std::size_t>(u)] == -1 && dfs(u)) ++size;
+    }
+  }
+  return MatchingResult{size, std::move(match_l), std::move(match_r)};
+}
+
+}  // namespace segroute::match

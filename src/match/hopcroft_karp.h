@@ -1,0 +1,39 @@
+// Hopcroft–Karp maximum-cardinality bipartite matching.
+//
+// Substrate for the 1-segment feasibility router and for test oracles.
+#pragma once
+
+#include <vector>
+
+namespace segroute::match {
+
+/// A bipartite graph with `num_left` left vertices and `num_right` right
+/// vertices; edges are added explicitly. Vertices are 0-based.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(int num_left, int num_right);
+
+  void add_edge(int left, int right);
+
+  [[nodiscard]] int num_left() const { return static_cast<int>(adj_.size()); }
+  [[nodiscard]] int num_right() const { return num_right_; }
+  [[nodiscard]] const std::vector<int>& neighbors(int left) const {
+    return adj_[left];
+  }
+
+ private:
+  std::vector<std::vector<int>> adj_;
+  int num_right_ = 0;
+};
+
+/// Result of a maximum matching computation.
+struct MatchingResult {
+  int size = 0;                 // cardinality of the matching
+  std::vector<int> match_left;  // per left vertex: matched right vertex or -1
+  std::vector<int> match_right; // per right vertex: matched left vertex or -1
+};
+
+/// Computes a maximum-cardinality matching in O(E * sqrt(V)).
+MatchingResult hopcroft_karp(const BipartiteGraph& g);
+
+}  // namespace segroute::match

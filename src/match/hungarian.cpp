@@ -1,0 +1,91 @@
+#include "match/hungarian.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace segroute::match {
+
+AssignmentResult hungarian(int n_rows, int n_cols,
+                           const std::vector<double>& cost) {
+  if (n_rows < 0 || n_cols < 0 || n_rows > n_cols) {
+    throw std::invalid_argument("hungarian: need 0 <= n_rows <= n_cols");
+  }
+  if (cost.size() != static_cast<std::size_t>(n_rows) *
+                         static_cast<std::size_t>(n_cols)) {
+    throw std::invalid_argument("hungarian: cost matrix size mismatch");
+  }
+  const double inf = kForbidden;
+  auto at = [&](int r, int c) -> double {
+    return cost[static_cast<std::size_t>(r) * static_cast<std::size_t>(n_cols) +
+                static_cast<std::size_t>(c)];
+  };
+
+  // Potentials and matching, 1-based with a sentinel column 0.
+  std::vector<double> u(static_cast<std::size_t>(n_rows) + 1, 0.0);
+  std::vector<double> v(static_cast<std::size_t>(n_cols) + 1, 0.0);
+  std::vector<int> p(static_cast<std::size_t>(n_cols) + 1, 0);   // row matched to col
+  std::vector<int> way(static_cast<std::size_t>(n_cols) + 1, 0); // augmenting path
+
+  for (int i = 1; i <= n_rows; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<std::size_t>(n_cols) + 1, inf);
+    std::vector<char> used(static_cast<std::size_t>(n_cols) + 1, 0);
+    do {
+      used[static_cast<std::size_t>(j0)] = 1;
+      const int i0 = p[static_cast<std::size_t>(j0)];
+      double delta = inf;
+      int j1 = -1;
+      for (int j = 1; j <= n_cols; ++j) {
+        if (used[static_cast<std::size_t>(j)]) continue;
+        const double c = at(i0 - 1, j - 1);
+        if (!std::isinf(c)) {
+          const double cur = c - u[static_cast<std::size_t>(i0)] -
+                             v[static_cast<std::size_t>(j)];
+          if (cur < minv[static_cast<std::size_t>(j)]) {
+            minv[static_cast<std::size_t>(j)] = cur;
+            way[static_cast<std::size_t>(j)] = j0;
+          }
+        }
+        if (minv[static_cast<std::size_t>(j)] < delta) {
+          delta = minv[static_cast<std::size_t>(j)];
+          j1 = j;
+        }
+      }
+      if (j1 == -1 || std::isinf(delta)) {
+        // No reachable unmatched column: row i cannot be assigned.
+        return AssignmentResult{false, 0.0,
+                                std::vector<int>(static_cast<std::size_t>(n_rows), -1)};
+      }
+      for (int j = 0; j <= n_cols; ++j) {
+        if (used[static_cast<std::size_t>(j)]) {
+          u[static_cast<std::size_t>(p[static_cast<std::size_t>(j)])] += delta;
+          v[static_cast<std::size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<std::size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<std::size_t>(j0)] != 0);
+    // Augment along the alternating path.
+    do {
+      const int j1 = way[static_cast<std::size_t>(j0)];
+      p[static_cast<std::size_t>(j0)] = p[static_cast<std::size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult res;
+  res.feasible = true;
+  res.column_of.assign(static_cast<std::size_t>(n_rows), -1);
+  for (int j = 1; j <= n_cols; ++j) {
+    const int r = p[static_cast<std::size_t>(j)];
+    if (r > 0) {
+      res.column_of[static_cast<std::size_t>(r - 1)] = j - 1;
+      res.cost += at(r - 1, j - 1);
+    }
+  }
+  return res;
+}
+
+}  // namespace segroute::match

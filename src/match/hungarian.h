@@ -1,0 +1,30 @@
+// Hungarian algorithm (Jonker–Volgenant style shortest augmenting paths,
+// O(n^3)) for minimum-cost assignment with forbidden pairs.
+//
+// Substrate for the optimal 1-segment router (Problem 3 via weighted
+// bipartite matching, Fig. 7 of the paper).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+namespace segroute::match {
+
+/// Cost used to mark a forbidden (absent) edge.
+inline constexpr double kForbidden = std::numeric_limits<double>::infinity();
+
+/// Result of a min-cost assignment.
+struct AssignmentResult {
+  bool feasible = false;          // every row matched to a permitted column
+  double cost = 0.0;              // total cost of the assignment
+  std::vector<int> column_of;     // per row: assigned column (or -1)
+};
+
+/// Solves min-cost assignment on an `n_rows` x `n_cols` cost matrix
+/// (row-major; cost[r*n_cols + c]); requires n_rows <= n_cols. Entries
+/// equal to kForbidden may not be used. Returns feasible=false if no
+/// perfect (all-rows) assignment avoiding forbidden entries exists.
+AssignmentResult hungarian(int n_rows, int n_cols,
+                           const std::vector<double>& cost);
+
+}  // namespace segroute::match

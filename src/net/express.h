@@ -1,0 +1,64 @@
+// Segmented channels as a multiprocessor interconnect — the paper's
+// concluding remark: "The routing scheme using segmented channels may
+// also be considered as a model for a communication network in a
+// multiprocessor architecture. The logic modules in Fig. 1 can be
+// replaced by processing elements (PE's) ... In [8] a preliminary
+// network model that uses specially segmented channels (referred to as
+// express channels) has already been proposed."
+//
+// Model: P processing elements sit at columns 1..P of a segmented
+// channel. A message from PE a to PE b claims the segments spanning
+// [min(a,b), max(a,b)] on one track (programmed-switch circuit
+// switching). Latency is the Elmore delay of the claimed path — long
+// express segments give long-haul messages few switches; short local
+// segments serve neighbor traffic without wasting wire.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/connection.h"
+#include "fpga/delay.h"
+
+namespace segroute::net {
+
+/// A point-to-point message between two processing elements (1-based
+/// PE indices == columns).
+struct Message {
+  int src = 0;
+  int dst = 0;
+
+  [[nodiscard]] int distance() const { return std::abs(dst - src); }
+};
+
+/// Traffic patterns from the interconnection-network literature.
+std::vector<Message> uniform_traffic(int pes, int count, std::mt19937_64& rng);
+std::vector<Message> neighbor_traffic(int pes, int count, std::mt19937_64& rng);
+std::vector<Message> bit_reversal_traffic(int pes);
+
+/// Channel organizations to compare (all with `tracks` tracks over `pes`
+/// columns).
+SegmentedChannel local_channel(int tracks, int pes);            // unit segments
+SegmentedChannel bus_channel(int tracks, int pes);              // unsegmented
+/// Express organization: half the tracks carry unit ("local") segments,
+/// the other half express segments of length `express_len`, staggered.
+SegmentedChannel express_channel(int tracks, int pes, Column express_len);
+
+/// Outcome of offering a batch of messages to the network.
+struct NetworkReport {
+  int offered = 0;
+  int delivered = 0;                 // messages that got a track
+  double mean_latency = 0.0;         // Elmore delay over delivered
+  double max_latency = 0.0;
+  double mean_switches = 0.0;        // programmed switches per delivered msg
+};
+
+/// Greedy circuit switching: messages are sorted by left end and each is
+/// assigned (1-segment preferred, then any feasible track via first fit);
+/// undeliverable messages are dropped and counted.
+NetworkReport offer_traffic(const SegmentedChannel& ch,
+                            const std::vector<Message>& msgs,
+                            const fpga::DelayParams& params = {});
+
+}  // namespace segroute::net

@@ -1,0 +1,68 @@
+// Numerical Matching with Target Sums (NMTS) — the strongly NP-complete
+// source problem of the paper's reductions (Garey & Johnson [7]).
+//
+// Instance: positive integers x_1..x_n, y_1..y_n, z_1..z_n with
+// sum(x_i + y_i) = sum(z_i). Question: do permutations alpha, beta exist
+// with x_{alpha(i)} + y_{beta(i)} = z_i for all i?
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+namespace segroute::npc {
+
+/// A solution: alpha[i] and beta[i] are 0-based indices into x and y with
+/// x[alpha[i]] + y[beta[i]] == z[i].
+struct NmtsSolution {
+  std::vector<int> alpha;
+  std::vector<int> beta;
+};
+
+class NmtsInstance {
+ public:
+  /// Throws std::invalid_argument unless sizes match, all values are
+  /// positive, and the sums balance.
+  NmtsInstance(std::vector<std::int64_t> x, std::vector<std::int64_t> y,
+               std::vector<std::int64_t> z);
+
+  [[nodiscard]] int n() const { return static_cast<int>(x_.size()); }
+  [[nodiscard]] const std::vector<std::int64_t>& x() const { return x_; }
+  [[nodiscard]] const std::vector<std::int64_t>& y() const { return y_; }
+  [[nodiscard]] const std::vector<std::int64_t>& z() const { return z_; }
+
+  /// True if a given (alpha, beta) is a valid solution.
+  [[nodiscard]] bool check(const NmtsSolution& s) const;
+
+  /// Exact backtracking solver (exponential; fine for n <= ~10).
+  [[nodiscard]] std::optional<NmtsSolution> solve() const;
+
+  /// True if x is strictly increasing with consecutive gaps >= n,
+  /// x_1 + y_1 >= x_n + n, and z_1 >= x_n + n — the preconditions the
+  /// Section III / Appendix constructions rely on.
+  [[nodiscard]] bool reduction_ready() const;
+
+  /// Applies the paper's equivalence-preserving transformations (sorting,
+  /// scaling by m = ceil(n / min gap of x), translating y and z, plus an
+  /// x/z translation to guarantee x_1 >= 2 and z_1 >= x_n + n) and returns
+  /// the transformed instance. The result has a solution iff *this does.
+  /// Throws std::invalid_argument if x contains duplicates (scaling cannot
+  /// separate equal x values).
+  [[nodiscard]] NmtsInstance normalized() const;
+
+ private:
+  std::vector<std::int64_t> x_, y_, z_;
+};
+
+/// Generates a solvable instance: random x, y, and z built from a random
+/// hidden matching (then shuffled). Values are kept small (strong
+/// NP-completeness: hardness persists with polynomially bounded values).
+NmtsInstance random_solvable_nmts(int n, std::mt19937_64& rng);
+
+/// Generates an instance that is *usually* unsolvable: as above but with
+/// z perturbed by moving mass between two entries (sum preserved). May
+/// occasionally remain solvable — callers decide via solve().
+NmtsInstance random_perturbed_nmts(int n, std::mt19937_64& rng);
+
+}  // namespace segroute::npc

@@ -1,0 +1,162 @@
+#include "npc/propositions.h"
+
+#include <algorithm>
+#include <set>
+
+namespace segroute::npc {
+
+namespace {
+
+PropositionCheck fail(std::string msg) {
+  return PropositionCheck{false, std::move(msg)};
+}
+
+}  // namespace
+
+PropositionCheck check_proposition1(const UnlimitedReduction& q,
+                                    const Routing& r) {
+  const int n = q.n;
+  // (a) f's on n^2 different tracks.
+  std::set<TrackId> f_tracks;
+  for (ConnId f : q.f) {
+    if (!f_tracks.insert(r.track_of(f)).second) {
+      return fail("two f connections share a track");
+    }
+  }
+  if (static_cast<int>(f_tracks.size()) != n * n) {
+    return fail("f connections do not cover n^2 tracks");
+  }
+  // (b) d's and a's on z-tracks; e's on block tracks.
+  for (ConnId d : q.d) {
+    if (r.track_of(d) >= n) {
+      return fail("a d connection left the first n tracks");
+    }
+  }
+  for (ConnId a : q.a) {
+    if (r.track_of(a) >= n) {
+      return fail("an a connection left the first n tracks");
+    }
+  }
+  for (ConnId e : q.e) {
+    if (r.track_of(e) < n) {
+      return fail("an e connection entered the first n tracks");
+    }
+  }
+  return {};
+}
+
+PropositionCheck check_proposition3_10(const UnlimitedReduction& q,
+                                       const NmtsInstance& inst,
+                                       const Routing& r) {
+  const int n = q.n;
+  // Proposition 3: all n^2 b's on distinct tracks.
+  std::set<TrackId> b_tracks;
+  for (const auto& family : q.b) {
+    for (ConnId b : family) {
+      if (!b_tracks.insert(r.track_of(b)).second) {
+        return fail("two b connections share a track (Prop. 3)");
+      }
+    }
+  }
+  // Proposition 10, up to equal y values: the multiset of y values of
+  // b's on z-tracks equals the multiset {y_1..y_n}.
+  std::vector<std::int64_t> on_z;
+  for (int k = 0; k < n; ++k) {
+    for (ConnId b : q.b[static_cast<std::size_t>(k)]) {
+      if (r.track_of(b) < n) {
+        on_z.push_back(inst.y()[static_cast<std::size_t>(k)]);
+      }
+    }
+  }
+  if (static_cast<int>(on_z.size()) != n) {
+    return fail("number of b's on z-tracks != n (Prop. 10)");
+  }
+  std::vector<std::int64_t> want = inst.y();
+  std::sort(on_z.begin(), on_z.end());
+  std::sort(want.begin(), want.end());
+  if (on_z != want) {
+    return fail("y-values of z-track b's are not {y_1..y_n} (Prop. 10)");
+  }
+  return {};
+}
+
+PropositionCheck check_lemma2_structure(const UnlimitedReduction& q,
+                                        const NmtsInstance& inst,
+                                        const Routing& r) {
+  const int n = q.n;
+  std::vector<int> a_on(static_cast<std::size_t>(n), -1);
+  for (int j = 0; j < n; ++j) {
+    const TrackId t = r.track_of(q.a[static_cast<std::size_t>(j)]);
+    if (t < 0 || t >= n) return fail("a connection off the z-tracks");
+    if (a_on[static_cast<std::size_t>(t)] != -1) {
+      return fail("two a connections on one z-track");
+    }
+    a_on[static_cast<std::size_t>(t)] = j;
+  }
+  std::vector<int> b_on(static_cast<std::size_t>(n), -1);
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      const TrackId t =
+          r.track_of(q.b[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)]);
+      if (t >= 0 && t < n) {
+        if (b_on[static_cast<std::size_t>(t)] != -1) {
+          return fail("two b connections on one z-track");
+        }
+        b_on[static_cast<std::size_t>(t)] = k;
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (a_on[static_cast<std::size_t>(i)] == -1 ||
+        b_on[static_cast<std::size_t>(i)] == -1) {
+      return fail("z-track missing its a or b (Lemma 2 Claim a)");
+    }
+    const std::int64_t sum =
+        inst.x()[static_cast<std::size_t>(a_on[static_cast<std::size_t>(i)])] +
+        inst.y()[static_cast<std::size_t>(b_on[static_cast<std::size_t>(i)])];
+    if (sum != inst.z()[static_cast<std::size_t>(i)]) {
+      return fail("x_alpha + y_beta != z_i on track " + std::to_string(i) +
+                  " (Lemma 2 Claim b)");
+    }
+  }
+  return {};
+}
+
+PropositionCheck check_proposition12(const TwoSegmentReduction& q2,
+                                     const Routing& r) {
+  const int n = q2.n;
+  const TrackId blocks_base = static_cast<TrackId>(n * n);
+  // (a) e's on the last n^2 - n tracks.
+  for (ConnId e : q2.e) {
+    if (r.track_of(e) < blocks_base) {
+      return fail("an e connection entered the t_ij tracks (Prop. 12a)");
+    }
+  }
+  // (b) f's occupy every track exactly once (2n^2 - n of each).
+  std::set<TrackId> f_tracks;
+  for (ConnId f : q2.f) {
+    if (!f_tracks.insert(r.track_of(f)).second) {
+      return fail("two f connections share a track (Prop. 12b)");
+    }
+  }
+  if (static_cast<int>(f_tracks.size()) != 2 * n * n - n) {
+    return fail("f connections do not cover all tracks (Prop. 12b)");
+  }
+  // (c) a's on the t_ij tracks.
+  for (ConnId a : q2.a) {
+    if (r.track_of(a) >= blocks_base) {
+      return fail("an a connection entered the block tracks (Prop. 12c)");
+    }
+  }
+  // (d) g's on the t_ij tracks.
+  for (const auto& row : q2.g) {
+    for (ConnId g : row) {
+      if (r.track_of(g) >= blocks_base) {
+        return fail("a g connection entered the block tracks (Prop. 12d)");
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace segroute::npc

@@ -1,0 +1,49 @@
+// Structural verifiers for the propositions the NP-completeness proofs
+// rest on (Section III and the Appendix). Each checker takes a *valid*
+// routing of the constructed instance and confirms the property the
+// corresponding proposition asserts must hold in ANY valid routing —
+// letting the test suite validate the proof machinery itself, not just
+// the end-to-end equivalence.
+#pragma once
+
+#include <string>
+
+#include "core/routing.h"
+#include "npc/reduction.h"
+
+namespace segroute::npc {
+
+struct PropositionCheck {
+  bool ok = true;
+  std::string violation;  // first violated claim, human readable
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Proposition 1 (and the pigeonhole structure behind it): in any valid
+/// routing of Q, the f's occupy n^2 different tracks; the d's and a's sit
+/// on the first n (z-)tracks; the e's sit on the block tracks.
+PropositionCheck check_proposition1(const UnlimitedReduction& q,
+                                    const Routing& r);
+
+/// Proposition 3 / 10: all b's sit on distinct tracks, and exactly one b
+/// from each family {b_k1..b_kn} is on a z-track... with repeated y
+/// values families may trade places, so the per-family claim is checked
+/// up to y-value equality (the geometric content of Prop. 10).
+PropositionCheck check_proposition3_10(const UnlimitedReduction& q,
+                                       const NmtsInstance& inst,
+                                       const Routing& r);
+
+/// Lemma 2's Claim a/b: each z-track i carries exactly one a and one b,
+/// they do not overlap, and x_alpha + y_beta == z_i.
+PropositionCheck check_lemma2_structure(const UnlimitedReduction& q,
+                                        const NmtsInstance& inst,
+                                        const Routing& r);
+
+/// Proposition 12: in any valid 2-segment routing of Q2, the e's sit on
+/// the block tracks, every track's last segment carries an f, the a's sit
+/// on the first n^2 tracks, and the g's avoid the block tracks.
+PropositionCheck check_proposition12(const TwoSegmentReduction& q2,
+                                     const Routing& r);
+
+}  // namespace segroute::npc

@@ -1,0 +1,82 @@
+// The NP-completeness reductions of Section III (NMTS -> Problem 1) and
+// of the Appendix (NMTS -> 2-segment routing, Problem 2 with K = 2).
+//
+// Both directions are implemented:
+//  - build_*: construct the routing instance Q (resp. Q2) from an NMTS
+//    instance (Theorem 1 / Theorem 2 constructions, verbatim);
+//  - routing_from_matching: Lemma 1's constructive routing given a
+//    solution of the matching problem;
+//  - matching_from_routing: Lemma 2's extraction of permutations alpha,
+//    beta from any valid routing of Q.
+#pragma once
+
+#include "core/channel.h"
+#include "core/connection.h"
+#include "core/routing.h"
+#include "npc/nmts.h"
+
+namespace segroute::npc {
+
+/// The unlimited-segment instance Q of Section III, with bookkeeping that
+/// records which connection/track plays which role.
+struct UnlimitedReduction {
+  SegmentedChannel channel;
+  ConnectionSet connections;
+
+  // Connection ids by family (all 0-based into `connections`).
+  std::vector<ConnId> a;  // a_i, i = 0..n-1 (one per x_i)
+  std::vector<std::vector<ConnId>> b;  // b[k][j]: y_k paired with x_j
+  std::vector<ConnId> d;  // d_i (1,3), n of them
+  std::vector<ConnId> e;  // e_i (1,5), n^2 - n of them
+  std::vector<ConnId> f;  // f_i, n^2 of them
+
+  // Track ids: tracks 0..n-1 are t_1..t_n (z-tracks); the rest are the
+  // block tracks, block i (0-based) occupying indices
+  // n + i*(n-1) .. n + (i+1)*(n-1) - 1.
+  int n = 0;
+};
+
+/// Builds Q. Requires inst.reduction_ready() (throws otherwise) — use
+/// NmtsInstance::normalized() first.
+UnlimitedReduction build_unlimited(const NmtsInstance& inst);
+
+/// The 2-segment instance Q2 of the Appendix.
+struct TwoSegmentReduction {
+  SegmentedChannel channel;
+  ConnectionSet connections;
+
+  std::vector<ConnId> a;
+  std::vector<std::vector<ConnId>> b;  // b[k][j]
+  std::vector<ConnId> e;               // n^2 - n
+  std::vector<ConnId> f;               // 2n^2 - n
+  std::vector<std::vector<ConnId>> g;  // g[i][j], i = 0..n-1, j = 0..n-2
+
+  // Track layout: for i in 0..n-1, tracks i*n .. i*n + n - 1 are t_{i,1}..
+  // t_{i,n}; tracks n^2 .. 2n^2 - n - 1 are the block tracks of Q.
+  int n = 0;
+};
+
+/// Builds Q2. Requires inst.reduction_ready() (throws otherwise).
+TwoSegmentReduction build_two_segment(const NmtsInstance& inst);
+
+/// Lemma 1: a complete valid routing of Q from an NMTS solution.
+/// Throws std::invalid_argument if `sol` does not solve `inst`.
+Routing routing_from_matching(const UnlimitedReduction& q,
+                              const NmtsInstance& inst,
+                              const NmtsSolution& sol);
+
+/// Lemma 2: extracts permutations alpha, beta from a valid routing of Q.
+/// Returns std::nullopt if the routing is not a valid complete routing of
+/// Q (callers normally pass a routing produced by a router, so this
+/// indicates a bug rather than an unsolvable instance).
+std::optional<NmtsSolution> matching_from_routing(const UnlimitedReduction& q,
+                                                  const NmtsInstance& inst,
+                                                  const Routing& r);
+
+/// The Appendix's constructive direction: a 2-segment routing of Q2 from
+/// a routing of Q (here built directly from the NMTS solution).
+Routing routing_from_matching_two_segment(const TwoSegmentReduction& q2,
+                                          const NmtsInstance& inst,
+                                          const NmtsSolution& sol);
+
+}  // namespace segroute::npc

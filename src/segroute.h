@@ -1,0 +1,54 @@
+// Umbrella header for the segroute library: segmented channel routing for
+// channeled FPGAs, reproducing Roychowdhury, Greene & El Gamal,
+// "Segmented Channel Routing" (DAC 1990 / IEEE TCAD Jan 1993).
+//
+// Quick start:
+//   #include "segroute.h"
+//   using namespace segroute;
+//   auto ch = SegmentedChannel::identical(4, 12, {4, 8});
+//   ConnectionSet cs;
+//   cs.add(2, 7, "net0");
+//   auto result = alg::dp_route_unlimited(ch, cs);
+//   if (result) std::cout << io::render(ch, cs, result.routing);
+#pragma once
+
+#include "alg/anneal_route.h"
+#include "alg/branch_bound.h"
+#include "alg/capacity.h"
+#include "alg/decompose.h"
+#include "alg/dp.h"
+#include "alg/exhaustive.h"
+#include "alg/generalized_dp.h"
+#include "alg/greedy1.h"
+#include "alg/greedy2track.h"
+#include "alg/left_edge.h"
+#include "alg/lp_route.h"
+#include "alg/match1.h"
+#include "alg/online.h"
+#include "alg/result.h"
+#include "core/channel.h"
+#include "core/connection.h"
+#include "core/generalized.h"
+#include "core/routing.h"
+#include "core/segment.h"
+#include "core/stats.h"
+#include "core/track.h"
+#include "core/types.h"
+#include "core/weights.h"
+#include "fpga/delay.h"
+#include "fpga/device.h"
+#include "fpga/netlist.h"
+#include "fpga/place.h"
+#include "gen/fixtures.h"
+#include "gen/segmentation.h"
+#include "gen/suite.h"
+#include "gen/workload.h"
+#include "io/json.h"
+#include "io/render.h"
+#include "io/svg.h"
+#include "io/table.h"
+#include "io/text.h"
+#include "net/express.h"
+#include "npc/nmts.h"
+#include "npc/propositions.h"
+#include "npc/reduction.h"

@@ -1,0 +1,66 @@
+#include "core/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace segroute {
+namespace {
+
+TEST(Channel, IdenticalBuilderReplicatesTracks) {
+  const auto ch = SegmentedChannel::identical(4, 9, {3, 6});
+  EXPECT_EQ(ch.num_tracks(), 4);
+  EXPECT_EQ(ch.width(), 9);
+  EXPECT_TRUE(ch.identically_segmented());
+  EXPECT_EQ(ch.num_types(), 1);
+  for (TrackId t = 0; t < 4; ++t) {
+    EXPECT_EQ(ch.track(t).num_segments(), 3);
+  }
+}
+
+TEST(Channel, RejectsEmptyAndMismatchedWidths) {
+  EXPECT_THROW(SegmentedChannel({}), std::invalid_argument);
+  EXPECT_THROW(SegmentedChannel({Track(9, {}), Track(8, {})}),
+               std::invalid_argument);
+  EXPECT_THROW(SegmentedChannel::identical(0, 9, {}), std::invalid_argument);
+}
+
+TEST(Channel, UnsegmentedAndFullySegmentedBuilders) {
+  const auto u = SegmentedChannel::unsegmented(3, 7);
+  EXPECT_EQ(u.max_segments_per_track(), 1);
+  EXPECT_EQ(u.total_segments(), 3);
+
+  const auto f = SegmentedChannel::fully_segmented(2, 7);
+  EXPECT_EQ(f.max_segments_per_track(), 7);
+  EXPECT_EQ(f.total_segments(), 14);
+}
+
+TEST(Channel, TypeClassificationGroupsIdenticalSegmentation) {
+  const auto ch = SegmentedChannel({
+      Track(9, {3}),
+      Track(9, {4}),
+      Track(9, {3}),
+      Track(9, {}),
+  });
+  EXPECT_EQ(ch.num_types(), 3);
+  EXPECT_FALSE(ch.identically_segmented());
+  // Types are dense ids in order of first appearance.
+  EXPECT_EQ(ch.type_of()[0], 0);
+  EXPECT_EQ(ch.type_of()[1], 1);
+  EXPECT_EQ(ch.type_of()[2], 0);
+  EXPECT_EQ(ch.type_of()[3], 2);
+}
+
+TEST(Channel, MaxSegmentsPerTrack) {
+  const auto ch = SegmentedChannel({Track(9, {3}), Track(9, {2, 4, 6})});
+  EXPECT_EQ(ch.max_segments_per_track(), 4);
+}
+
+TEST(Channel, SingleTrackChannel) {
+  const auto ch = SegmentedChannel({Track(5, {2})});
+  EXPECT_EQ(ch.num_tracks(), 1);
+  EXPECT_TRUE(ch.identically_segmented());
+}
+
+}  // namespace
+}  // namespace segroute

@@ -1,0 +1,112 @@
+#include "core/connection.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace segroute {
+namespace {
+
+TEST(Connection, LengthAndOverlap) {
+  const Connection a{2, 5, "a"};
+  const Connection b{5, 7, "b"};
+  const Connection c{6, 9, "c"};
+  EXPECT_EQ(a.length(), 4);
+  EXPECT_TRUE(a.overlaps(b));  // share column 5
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_TRUE(c.overlaps(c));
+}
+
+TEST(ConnectionSet, RejectsMalformedConnections) {
+  ConnectionSet cs;
+  EXPECT_THROW(cs.add(0, 5), std::invalid_argument);
+  EXPECT_THROW(cs.add(5, 4), std::invalid_argument);
+  EXPECT_THROW(ConnectionSet({Connection{3, 2, ""}}), std::invalid_argument);
+}
+
+TEST(ConnectionSet, AddReturnsSequentialIds) {
+  ConnectionSet cs;
+  EXPECT_EQ(cs.add(1, 2), 0);
+  EXPECT_EQ(cs.add(3, 4), 1);
+  EXPECT_EQ(cs.size(), 2);
+  EXPECT_FALSE(cs.empty());
+}
+
+TEST(ConnectionSet, SortedByLeftIsStable) {
+  ConnectionSet cs;
+  cs.add(5, 9, "x");
+  cs.add(2, 3, "y");
+  cs.add(5, 6, "z");  // same left as x; x must come first (stability)
+  const auto order = cs.sorted_by_left();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 0);
+  EXPECT_EQ(order[2], 2);
+  EXPECT_FALSE(cs.is_sorted_by_left());
+}
+
+TEST(ConnectionSet, MaxRight) {
+  ConnectionSet cs;
+  EXPECT_EQ(cs.max_right(), 0);
+  cs.add(1, 4);
+  cs.add(2, 9);
+  cs.add(3, 3);
+  EXPECT_EQ(cs.max_right(), 9);
+}
+
+TEST(ConnectionSet, DensityOfDisjointConnectionsIsOne) {
+  ConnectionSet cs;
+  cs.add(1, 2);
+  cs.add(3, 4);
+  cs.add(5, 9);
+  EXPECT_EQ(cs.density(), 1);
+}
+
+TEST(ConnectionSet, DensityCountsMaximumColumnLoad) {
+  ConnectionSet cs;
+  cs.add(1, 5);
+  cs.add(3, 8);
+  cs.add(5, 9);
+  // Column 5 carries all three.
+  EXPECT_EQ(cs.density(), 3);
+}
+
+TEST(ConnectionSet, DensityTouchingEndpointsCount) {
+  ConnectionSet cs;
+  cs.add(1, 4);
+  cs.add(4, 9);  // share exactly column 4
+  EXPECT_EQ(cs.density(), 2);
+}
+
+TEST(ConnectionSet, EmptyDensityIsZero) {
+  EXPECT_EQ(ConnectionSet{}.density(), 0);
+}
+
+TEST(ConnectionSet, ExtendedDensityAlignsToSegmentBoundaries) {
+  // Channel cut at 3 and 6; connections (4,5) and (6,6) are disjoint, but
+  // after extension both cover (4,6): extended density 2.
+  const auto ch = SegmentedChannel::identical(2, 9, {3, 6});
+  ConnectionSet cs;
+  cs.add(4, 5);
+  cs.add(6, 6);
+  EXPECT_EQ(cs.density(), 1);
+  EXPECT_EQ(cs.extended_density(ch), 2);
+}
+
+TEST(ConnectionSet, ExtendedDensityRequiresIdenticalTracks) {
+  const auto ch = SegmentedChannel({Track(9, {3}), Track(9, {4})});
+  ConnectionSet cs;
+  cs.add(1, 2);
+  EXPECT_THROW(cs.extended_density(ch), std::invalid_argument);
+}
+
+TEST(ConnectionSet, ExtendedDensityRejectsOversizedConnections) {
+  const auto ch = SegmentedChannel::identical(2, 5, {});
+  ConnectionSet cs;
+  cs.add(1, 9);
+  EXPECT_THROW(cs.extended_density(ch), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace segroute

@@ -1,0 +1,156 @@
+#include "fpga/device.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "core/routing.h"
+#include "gen/segmentation.h"
+
+namespace segroute::fpga {
+namespace {
+
+TEST(DeviceSpec, GeometryHelpers) {
+  DeviceSpec dev;
+  dev.rows = 3;
+  dev.slots_per_row = 8;
+  dev.cell_width = 4;
+  EXPECT_EQ(dev.num_channels(), 4);
+  EXPECT_EQ(dev.columns(), 32);
+  EXPECT_EQ(dev.pin_column(0), 2);
+  EXPECT_EQ(dev.pin_column(7), 30);
+}
+
+TEST(GlobalRoute, TrunksSpanTheirPinColumns) {
+  DeviceSpec dev;
+  dev.rows = 2;
+  dev.slots_per_row = 6;
+  dev.cell_width = 2;
+  const Netlist nl(12, {CellNet{{0, 5}, "a"}, CellNet{{6, 11}, "b"},
+                        CellNet{{0, 7}, "c"}});
+  const auto p = sequential_placement(nl, dev.rows, dev.slots_per_row);
+  const auto gr = global_route(dev, nl, p);
+  ASSERT_EQ(gr.channel_of_net.size(), 3u);
+  // Every net landed in a channel adjacent to (or between) its rows.
+  // Net "a" (cells 0..5, all row 0) may use channel 0 or 1.
+  EXPECT_TRUE(gr.channel_of_net[0] == 0 || gr.channel_of_net[0] == 1);
+  // Net "b" (row 1) may use channel 1 or 2.
+  EXPECT_TRUE(gr.channel_of_net[1] == 1 || gr.channel_of_net[1] == 2);
+  // Check the trunk geometry: net "a" spans pins of slots 0..5.
+  bool found = false;
+  for (int ch = 0; ch < dev.num_channels(); ++ch) {
+    const auto& cs = gr.per_channel[static_cast<std::size_t>(ch)];
+    for (ConnId i = 0; i < cs.size(); ++i) {
+      if (cs[i].name == "a") {
+        EXPECT_EQ(cs[i].left, dev.pin_column(0));
+        EXPECT_EQ(cs[i].right, dev.pin_column(5));
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GlobalRoute, EveryNetAppearsExactlyOnce) {
+  std::mt19937_64 rng(141);
+  DeviceSpec dev;
+  dev.rows = 4;
+  dev.slots_per_row = 10;
+  const auto nl = random_netlist(40, 30, 4, 10, rng);
+  const auto p = random_placement(nl, dev.rows, dev.slots_per_row, rng);
+  const auto gr = global_route(dev, nl, p);
+  std::set<int> seen;
+  int total = 0;
+  for (int ch = 0; ch < dev.num_channels(); ++ch) {
+    EXPECT_EQ(gr.per_channel[static_cast<std::size_t>(ch)].size(),
+              static_cast<ConnId>(
+                  gr.net_of_conn[static_cast<std::size_t>(ch)].size()));
+    for (int net : gr.net_of_conn[static_cast<std::size_t>(ch)]) {
+      EXPECT_TRUE(seen.insert(net).second);
+      EXPECT_EQ(gr.channel_of_net[static_cast<std::size_t>(net)], ch);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, nl.num_nets());
+}
+
+TEST(GlobalRoute, ChannelsStayWithinPinRowsPlusOne) {
+  std::mt19937_64 rng(142);
+  DeviceSpec dev;
+  dev.rows = 5;
+  dev.slots_per_row = 8;
+  const auto nl = random_netlist(40, 40, 3, 12, rng);
+  const auto p = random_placement(nl, dev.rows, dev.slots_per_row, rng);
+  const auto gr = global_route(dev, nl, p);
+  for (int i = 0; i < nl.num_nets(); ++i) {
+    int lo = dev.rows, hi = 0;
+    for (int c : nl.net(i).cells) {
+      lo = std::min(lo, p.row_of(c));
+      hi = std::max(hi, p.row_of(c));
+    }
+    const int ch = gr.channel_of_net[static_cast<std::size_t>(i)];
+    EXPECT_GE(ch, lo);
+    EXPECT_LE(ch, hi + 1);
+  }
+}
+
+TEST(GlobalRoute, RejectsMismatchedGrids) {
+  DeviceSpec dev;
+  dev.rows = 2;
+  dev.slots_per_row = 4;
+  const Netlist nl(4, {CellNet{{0, 1}, ""}});
+  const auto p = sequential_placement(nl, 2, 2);  // wrong slots_per_row
+  EXPECT_THROW(global_route(dev, nl, p), std::invalid_argument);
+}
+
+TEST(RouteDevice, RoutesEveryChannelAndReportsDelay) {
+  std::mt19937_64 rng(143);
+  DeviceSpec dev;
+  dev.rows = 3;
+  dev.slots_per_row = 12;
+  const auto nl = random_netlist(36, 24, 3, 8, rng);
+  const auto p = sequential_placement(nl, dev.rows, dev.slots_per_row);
+  const auto gr = global_route(dev, nl, p);
+  const auto reports = route_device(
+      dev, gr,
+      [](int tracks, Column width) {
+        return gen::staggered_segmentation(tracks, width,
+                                           std::max<Column>(2, width / 4));
+      },
+      32);
+  ASSERT_EQ(reports.size(), static_cast<std::size_t>(dev.num_channels()));
+  for (const auto& rep : reports) {
+    if (rep.connections == 0) {
+      EXPECT_EQ(rep.tracks_used, 0);
+      continue;
+    }
+    ASSERT_GT(rep.tracks_used, 0) << "channel " << rep.channel;
+    EXPECT_GE(rep.tracks_used, rep.density);
+    EXPECT_GT(rep.delay.max_delay, 0.0);
+  }
+}
+
+TEST(RouteDevice, TrackLimitReportsFailure) {
+  std::mt19937_64 rng(144);
+  DeviceSpec dev;
+  dev.rows = 1;
+  dev.slots_per_row = 8;
+  const auto nl = random_netlist(8, 20, 3, 8, rng);
+  const auto p = sequential_placement(nl, dev.rows, dev.slots_per_row);
+  const auto gr = global_route(dev, nl, p);
+  const auto reports = route_device(
+      dev, gr,
+      [](int tracks, Column width) {
+        return SegmentedChannel::unsegmented(tracks, width);
+      },
+      1);  // absurdly small limit
+  bool some_failed = false;
+  for (const auto& rep : reports) {
+    if (rep.connections > 1 && rep.tracks_used == -1) some_failed = true;
+  }
+  EXPECT_TRUE(some_failed);
+}
+
+}  // namespace
+}  // namespace segroute::fpga

@@ -1,0 +1,118 @@
+#include "net/express.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace segroute::net {
+namespace {
+
+TEST(Express, TrafficGeneratorsProduceValidMessages) {
+  std::mt19937_64 rng(171);
+  for (const Message& m : uniform_traffic(16, 50, rng)) {
+    EXPECT_GE(m.src, 1);
+    EXPECT_LE(m.src, 16);
+    EXPECT_GE(m.dst, 1);
+    EXPECT_LE(m.dst, 16);
+    EXPECT_NE(m.src, m.dst);
+  }
+  for (const Message& m : neighbor_traffic(16, 50, rng)) {
+    EXPECT_EQ(m.distance(), 1);
+  }
+}
+
+TEST(Express, BitReversalIsAnInvolutionPattern) {
+  const auto msgs = bit_reversal_traffic(16);
+  EXPECT_FALSE(msgs.empty());
+  for (const Message& m : msgs) {
+    EXPECT_GE(m.src, 1);
+    EXPECT_LE(m.src, 16);
+    EXPECT_NE(m.src, m.dst);
+  }
+  // Every (a, b) has its mirror (b, a) in the pattern.
+  for (const Message& m : msgs) {
+    bool found = false;
+    for (const Message& o : msgs) {
+      if (o.src == m.dst && o.dst == m.src) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Express, GeneratorsRejectBadParameters) {
+  std::mt19937_64 rng(172);
+  EXPECT_THROW(uniform_traffic(1, 5, rng), std::invalid_argument);
+  EXPECT_THROW(neighbor_traffic(1, 5, rng), std::invalid_argument);
+  EXPECT_THROW(bit_reversal_traffic(1), std::invalid_argument);
+  EXPECT_THROW(express_channel(1, 16, 4), std::invalid_argument);
+  EXPECT_THROW(express_channel(4, 16, 1), std::invalid_argument);
+}
+
+TEST(Express, ChannelOrganizationsHaveTheRightShape) {
+  const auto local = local_channel(4, 16);
+  EXPECT_EQ(local.max_segments_per_track(), 16);
+  const auto bus = bus_channel(4, 16);
+  EXPECT_EQ(bus.max_segments_per_track(), 1);
+  const auto express = express_channel(4, 16, 4);
+  EXPECT_EQ(express.num_tracks(), 4);
+  // Alternating local / express lanes.
+  EXPECT_EQ(express.track(0).num_segments(), 16);
+  EXPECT_LT(express.track(1).num_segments(), 16);
+}
+
+TEST(Express, LongHaulLatencyLocalVsExpress) {
+  // A single max-distance message: express lanes must beat the
+  // fully segmented local channel (the whole point of [8]).
+  const int pes = 32;
+  const std::vector<Message> one = {Message{1, 32}};
+  const auto local = offer_traffic(local_channel(4, pes), one);
+  const auto expr = offer_traffic(express_channel(4, pes, 8), one);
+  ASSERT_EQ(local.delivered, 1);
+  ASSERT_EQ(expr.delivered, 1);
+  EXPECT_LT(expr.mean_latency, local.mean_latency);
+  EXPECT_LT(expr.mean_switches, local.mean_switches);
+}
+
+TEST(Express, NeighborTrafficDoesNotNeedExpressLanes) {
+  std::mt19937_64 rng(173);
+  const int pes = 32;
+  const auto msgs = neighbor_traffic(pes, 12, rng);
+  const auto local = offer_traffic(local_channel(4, pes), msgs);
+  // A neighbor message spans two columns = two unit segments in a local
+  // lane: entry + exit + one joining switch.
+  EXPECT_GT(local.delivered, 0);
+  EXPECT_DOUBLE_EQ(local.mean_switches, 3.0);
+}
+
+TEST(Express, BusChannelDropsExcessMessages) {
+  // Two unsegmented tracks, three disjoint messages: each message takes
+  // a whole bus, so only two can be delivered.
+  const std::vector<Message> msgs = {Message{1, 2}, Message{4, 5},
+                                     Message{7, 8}};
+  const auto rep = offer_traffic(bus_channel(2, 8), msgs);
+  EXPECT_EQ(rep.offered, 3);
+  EXPECT_EQ(rep.delivered, 2);
+}
+
+TEST(Express, ReportAggregatesAreConsistent) {
+  std::mt19937_64 rng(174);
+  const int pes = 24;
+  const auto msgs = uniform_traffic(pes, 20, rng);
+  const auto rep = offer_traffic(express_channel(6, pes, 6), msgs);
+  EXPECT_EQ(rep.offered, 20);
+  EXPECT_GE(rep.delivered, 0);
+  EXPECT_LE(rep.delivered, 20);
+  if (rep.delivered > 0) {
+    EXPECT_GT(rep.mean_latency, 0.0);
+    EXPECT_LE(rep.mean_latency, rep.max_latency);
+    EXPECT_GE(rep.mean_switches, 2.0);
+  }
+}
+
+TEST(Express, MessagesBeyondChannelThrow) {
+  EXPECT_THROW(offer_traffic(local_channel(2, 8), {Message{1, 9}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace segroute::net

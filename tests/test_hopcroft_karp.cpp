@@ -1,0 +1,111 @@
+#include "match/hopcroft_karp.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace segroute::match {
+namespace {
+
+TEST(HopcroftKarp, EmptyGraph) {
+  BipartiteGraph g(0, 0);
+  EXPECT_EQ(hopcroft_karp(g).size, 0);
+}
+
+TEST(HopcroftKarp, NoEdges) {
+  BipartiteGraph g(3, 3);
+  const auto m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 0);
+  EXPECT_EQ(m.match_left, std::vector<int>({-1, -1, -1}));
+}
+
+TEST(HopcroftKarp, PerfectMatchingOnIdentity) {
+  BipartiteGraph g(4, 4);
+  for (int i = 0; i < 4; ++i) g.add_edge(i, i);
+  const auto m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(m.match_left[i], i);
+}
+
+TEST(HopcroftKarp, AugmentingPathIsFound) {
+  // l0-{r0}, l1-{r0,r1}: greedy could starve l0; HK must match both.
+  BipartiteGraph g(2, 2);
+  g.add_edge(1, 0);
+  g.add_edge(1, 1);
+  g.add_edge(0, 0);
+  const auto m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 2);
+  EXPECT_EQ(m.match_left[0], 0);
+  EXPECT_EQ(m.match_left[1], 1);
+}
+
+TEST(HopcroftKarp, MatchArraysAreConsistent) {
+  BipartiteGraph g(3, 4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 3);
+  for (int l = 0; l < 3; ++l) {
+    const int r = m.match_left[static_cast<std::size_t>(l)];
+    if (r != -1) EXPECT_EQ(m.match_right[static_cast<std::size_t>(r)], l);
+  }
+}
+
+TEST(HopcroftKarp, DeficientSideLimitsMatching) {
+  BipartiteGraph g(5, 2);
+  for (int l = 0; l < 5; ++l)
+    for (int r = 0; r < 2; ++r) g.add_edge(l, r);
+  EXPECT_EQ(hopcroft_karp(g).size, 2);
+}
+
+TEST(HopcroftKarp, RejectsOutOfRangeEdges) {
+  BipartiteGraph g(2, 2);
+  EXPECT_THROW(g.add_edge(2, 0), std::out_of_range);
+  EXPECT_THROW(g.add_edge(0, 2), std::out_of_range);
+  EXPECT_THROW(g.add_edge(-1, 0), std::out_of_range);
+  EXPECT_THROW(BipartiteGraph(-1, 2), std::invalid_argument);
+}
+
+/// Oracle: maximum matching by DFS augmenting paths (Kuhn's algorithm).
+int kuhn_size(const BipartiteGraph& g) {
+  std::vector<int> mr(static_cast<std::size_t>(g.num_right()), -1);
+  std::vector<char> used;
+  std::function<bool(int)> try_kuhn = [&](int u) -> bool {
+    for (int v : g.neighbors(u)) {
+      if (used[static_cast<std::size_t>(v)]) continue;
+      used[static_cast<std::size_t>(v)] = 1;
+      if (mr[static_cast<std::size_t>(v)] == -1 ||
+          try_kuhn(mr[static_cast<std::size_t>(v)])) {
+        mr[static_cast<std::size_t>(v)] = u;
+        return true;
+      }
+    }
+    return false;
+  };
+  int size = 0;
+  for (int u = 0; u < g.num_left(); ++u) {
+    used.assign(static_cast<std::size_t>(g.num_right()), 0);
+    if (try_kuhn(u)) ++size;
+  }
+  return size;
+}
+
+TEST(HopcroftKarp, MatchesKuhnOracleOnRandomGraphs) {
+  std::mt19937_64 rng(99);
+  for (int iter = 0; iter < 50; ++iter) {
+    const int nl = 1 + static_cast<int>(rng() % 12);
+    const int nr = 1 + static_cast<int>(rng() % 12);
+    BipartiteGraph g(nl, nr);
+    for (int l = 0; l < nl; ++l) {
+      for (int r = 0; r < nr; ++r) {
+        if (rng() % 3 == 0) g.add_edge(l, r);
+      }
+    }
+    EXPECT_EQ(hopcroft_karp(g).size, kuhn_size(g)) << "iter " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace segroute::match

@@ -1,0 +1,150 @@
+#include "match/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace segroute::match {
+namespace {
+
+TEST(Hungarian, TrivialSingleCell) {
+  const auto r = hungarian(1, 1, {3.5});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.cost, 3.5);
+  EXPECT_EQ(r.column_of[0], 0);
+}
+
+TEST(Hungarian, PicksTheCheapDiagonal) {
+  // Off-diagonal is expensive.
+  const std::vector<double> cost = {
+      1, 9, 9,  //
+      9, 1, 9,  //
+      9, 9, 1,  //
+  };
+  const auto r = hungarian(3, 3, cost);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.cost, 3.0);
+  EXPECT_EQ(r.column_of, std::vector<int>({0, 1, 2}));
+}
+
+TEST(Hungarian, ClassicInstance) {
+  // Known optimum 5: rows pick (0,1)=2? Verify against brute force below;
+  // here a hand-checked instance with optimum 69.
+  const std::vector<double> cost = {
+      25, 40, 35,  //
+      40, 60, 35,  //
+      20, 40, 25,  //
+  };
+  const auto r = hungarian(3, 3, cost);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.cost, 95.0);  // 25 + 35 + ... brute force confirms
+}
+
+TEST(Hungarian, RectangularLeavesColumnsFree) {
+  const std::vector<double> cost = {
+      5, 1, 7, 2,  //
+      6, 3, 1, 4,  //
+  };
+  const auto r = hungarian(2, 4, cost);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.cost, 2.0);  // 1 + 1
+  EXPECT_EQ(r.column_of[0], 1);
+  EXPECT_EQ(r.column_of[1], 2);
+}
+
+TEST(Hungarian, ForbiddenEdgesAreAvoided) {
+  const double X = kForbidden;
+  const std::vector<double> cost = {
+      X, 2,  //
+      1, X,  //
+  };
+  const auto r = hungarian(2, 2, cost);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.cost, 3.0);
+  EXPECT_EQ(r.column_of, std::vector<int>({1, 0}));
+}
+
+TEST(Hungarian, InfeasibleWhenARowHasNoPermittedColumn) {
+  const double X = kForbidden;
+  const std::vector<double> cost = {
+      X, X,  //
+      1, 2,  //
+  };
+  EXPECT_FALSE(hungarian(2, 2, cost).feasible);
+}
+
+TEST(Hungarian, InfeasibleByStructure) {
+  // Both rows can only use column 0.
+  const double X = kForbidden;
+  const std::vector<double> cost = {
+      1, X,  //
+      2, X,  //
+  };
+  EXPECT_FALSE(hungarian(2, 2, cost).feasible);
+}
+
+TEST(Hungarian, RejectsBadShapes) {
+  EXPECT_THROW(hungarian(3, 2, std::vector<double>(6, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(hungarian(2, 2, std::vector<double>(3, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(Hungarian, NegativeCostsAreHandled) {
+  const std::vector<double> cost = {
+      -5, 2,  //
+      3, -4,  //
+  };
+  const auto r = hungarian(2, 2, cost);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.cost, -9.0);
+}
+
+/// Brute-force oracle over all column permutations (n_rows <= n_cols).
+double brute_force(int n_rows, int n_cols, const std::vector<double>& cost,
+                   bool& feasible) {
+  std::vector<int> cols(static_cast<std::size_t>(n_cols));
+  std::iota(cols.begin(), cols.end(), 0);
+  double best = kForbidden;
+  do {
+    double total = 0;
+    bool ok = true;
+    for (int r = 0; r < n_rows; ++r) {
+      const double c = cost[static_cast<std::size_t>(r) *
+                                static_cast<std::size_t>(n_cols) +
+                            static_cast<std::size_t>(cols[static_cast<std::size_t>(r)])];
+      if (c == kForbidden) {
+        ok = false;
+        break;
+      }
+      total += c;
+    }
+    if (ok) best = std::min(best, total);
+  } while (std::next_permutation(cols.begin(), cols.end()));
+  feasible = best != kForbidden;
+  return best;
+}
+
+TEST(Hungarian, MatchesBruteForceOnRandomInstances) {
+  std::mt19937_64 rng(2024);
+  std::uniform_real_distribution<double> val(0.0, 10.0);
+  for (int iter = 0; iter < 60; ++iter) {
+    const int rows = 1 + static_cast<int>(rng() % 5);
+    const int cols = rows + static_cast<int>(rng() % 3);
+    std::vector<double> cost(static_cast<std::size_t>(rows) *
+                             static_cast<std::size_t>(cols));
+    for (auto& c : cost) c = (rng() % 4 == 0) ? kForbidden : val(rng);
+    bool oracle_ok = false;
+    const double oracle = brute_force(rows, cols, cost, oracle_ok);
+    const auto r = hungarian(rows, cols, cost);
+    EXPECT_EQ(r.feasible, oracle_ok) << "iter " << iter;
+    if (oracle_ok && r.feasible) {
+      EXPECT_NEAR(r.cost, oracle, 1e-9) << "iter " << iter;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace segroute::match

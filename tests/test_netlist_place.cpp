@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fpga/netlist.h"
+#include "fpga/place.h"
+
+namespace segroute::fpga {
+namespace {
+
+TEST(Netlist, ValidatesNets) {
+  EXPECT_THROW(Netlist(0, {}), std::invalid_argument);
+  EXPECT_THROW(Netlist(4, {CellNet{{1}, "one-pin"}}), std::invalid_argument);
+  EXPECT_THROW(Netlist(4, {CellNet{{1, 4}, "oob"}}), std::invalid_argument);
+  EXPECT_THROW(Netlist(4, {CellNet{{1, 1}, "dup"}}), std::invalid_argument);
+  EXPECT_NO_THROW(Netlist(4, {CellNet{{0, 3}, "ok"}}));
+}
+
+TEST(Netlist, RandomNetlistHonorsParameters) {
+  std::mt19937_64 rng(131);
+  const auto nl = random_netlist(40, 25, 4, 8, rng);
+  EXPECT_EQ(nl.num_cells(), 40);
+  EXPECT_EQ(nl.num_nets(), 25);
+  for (const CellNet& n : nl.nets()) {
+    EXPECT_GE(n.cells.size(), 2u);
+    EXPECT_LE(n.cells.size(), 4u);
+    // Locality: every net fits in an 8-wide id window.
+    const auto [lo, hi] = std::minmax_element(n.cells.begin(), n.cells.end());
+    EXPECT_LE(*hi - *lo, 8);
+  }
+}
+
+TEST(Netlist, RandomNetlistRejectsBadParameters) {
+  std::mt19937_64 rng(132);
+  EXPECT_THROW(random_netlist(1, 5, 3, 4, rng), std::invalid_argument);
+  EXPECT_THROW(random_netlist(10, 5, 1, 4, rng), std::invalid_argument);
+  EXPECT_THROW(random_netlist(10, 5, 3, 1, rng), std::invalid_argument);
+}
+
+TEST(Placement, SequentialFillsRowMajor) {
+  const Netlist nl(6, {CellNet{{0, 5}, ""}});
+  const auto p = sequential_placement(nl, 2, 3);
+  EXPECT_EQ(p.row_of(0), 0);
+  EXPECT_EQ(p.slot_of(0), 0);
+  EXPECT_EQ(p.row_of(3), 1);
+  EXPECT_EQ(p.slot_of(5), 2);
+}
+
+TEST(Placement, GridMustFitTheCells) {
+  const Netlist nl(6, {});
+  EXPECT_THROW(sequential_placement(nl, 1, 3), std::invalid_argument);
+  std::mt19937_64 rng(133);
+  EXPECT_THROW(random_placement(nl, 2, 2, rng), std::invalid_argument);
+}
+
+TEST(Placement, RandomPlacementIsAPermutation) {
+  std::mt19937_64 rng(134);
+  const Netlist nl(10, {});
+  const auto p = random_placement(nl, 3, 4, rng);
+  std::set<std::pair<int, int>> seen;
+  for (int c = 0; c < 10; ++c) {
+    EXPECT_GE(p.row_of(c), 0);
+    EXPECT_LT(p.row_of(c), 3);
+    EXPECT_GE(p.slot_of(c), 0);
+    EXPECT_LT(p.slot_of(c), 4);
+    EXPECT_TRUE(seen.emplace(p.row_of(c), p.slot_of(c)).second);
+  }
+}
+
+TEST(Placement, HpwlIsZeroForCoincidentRowsAndAdjacent) {
+  const Netlist nl(2, {CellNet{{0, 1}, ""}});
+  Placement p;
+  p.rows = 1;
+  p.slots_per_row = 2;
+  p.pos = {{0, 0}, {0, 1}};
+  EXPECT_DOUBLE_EQ(hpwl(nl, p), 1.0);
+  p.pos = {{0, 0}, {0, 0}};  // degenerate, same slot (not valid placement,
+                             // but hpwl is pure geometry)
+  EXPECT_DOUBLE_EQ(hpwl(nl, p), 0.0);
+}
+
+TEST(Placement, RowWeightScalesVerticalSpans) {
+  const Netlist nl(2, {CellNet{{0, 1}, ""}});
+  Placement p;
+  p.rows = 3;
+  p.slots_per_row = 2;
+  p.pos = {{0, 0}, {2, 0}};
+  EXPECT_DOUBLE_EQ(hpwl(nl, p, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(hpwl(nl, p, 5.0), 10.0);
+}
+
+TEST(Placement, AnnealNeverWorsensTheBestPlacement) {
+  std::mt19937_64 rng(135);
+  const auto nl = random_netlist(48, 60, 4, 6, rng);
+  const auto start = random_placement(nl, 4, 12, rng);
+  const double before = hpwl(nl, start, 2.0);
+  AnnealOptions opts;
+  opts.iterations = 8000;
+  const auto after = anneal_placement(nl, start, rng, opts);
+  EXPECT_LE(hpwl(nl, after, 2.0), before);
+}
+
+TEST(Placement, AnnealRecoversLocalityStructure) {
+  // Nets are drawn from narrow id windows; a good placement should get
+  // close to the sequential one and far below a random one.
+  std::mt19937_64 rng(136);
+  const auto nl = random_netlist(48, 80, 3, 4, rng);
+  const double sequential = hpwl(nl, sequential_placement(nl, 4, 12), 2.0);
+  const auto rand_p = random_placement(nl, 4, 12, rng);
+  const double randomized = hpwl(nl, rand_p, 2.0);
+  AnnealOptions opts;
+  opts.iterations = 40000;
+  const double annealed = hpwl(nl, anneal_placement(nl, rand_p, rng, opts), 2.0);
+  EXPECT_LT(annealed, randomized);
+  // Within 2x of the (near-ideal) sequential placement.
+  EXPECT_LT(annealed, 2.0 * sequential + 10.0);
+}
+
+}  // namespace
+}  // namespace segroute::fpga

@@ -1,0 +1,43 @@
+#include "core/segment.h"
+
+#include <gtest/gtest.h>
+
+namespace segroute {
+namespace {
+
+TEST(Segment, LengthCountsInclusiveColumns) {
+  EXPECT_EQ((Segment{3, 7}.length()), 5);
+  EXPECT_EQ((Segment{4, 4}.length()), 1);
+}
+
+TEST(Segment, ContainsItsEndpointsAndInterior) {
+  const Segment s{3, 7};
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_FALSE(s.contains(8));
+}
+
+TEST(Segment, OverlapsClosedIntervals) {
+  const Segment s{3, 7};
+  EXPECT_TRUE(s.overlaps(1, 3));   // touch at the left end
+  EXPECT_TRUE(s.overlaps(7, 9));   // touch at the right end
+  EXPECT_TRUE(s.overlaps(4, 5));   // contained
+  EXPECT_TRUE(s.overlaps(1, 9));   // containing
+  EXPECT_FALSE(s.overlaps(1, 2));
+  EXPECT_FALSE(s.overlaps(8, 9));
+}
+
+TEST(Segment, EqualityComparesBothEnds) {
+  EXPECT_EQ((Segment{1, 2}), (Segment{1, 2}));
+  EXPECT_NE((Segment{1, 2}), (Segment{1, 3}));
+  EXPECT_NE((Segment{1, 2}), (Segment{2, 2}));
+}
+
+TEST(Segment, ToStringUsesPaperNotation) {
+  EXPECT_EQ(to_string(Segment{3, 9}), "(3, 9)");
+}
+
+}  // namespace
+}  // namespace segroute

@@ -1,0 +1,88 @@
+#include "gen/segmentation.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gen/workload.h"
+
+namespace segroute::gen {
+namespace {
+
+TEST(Segmentation, UniformCutsEverySegmentLength) {
+  const auto ch = uniform_segmentation(3, 12, 4);
+  EXPECT_EQ(ch.num_tracks(), 3);
+  EXPECT_TRUE(ch.identically_segmented());
+  const auto& t = ch.track(0);
+  ASSERT_EQ(t.num_segments(), 3);
+  for (SegId s = 0; s < 3; ++s) EXPECT_EQ(t.segment(s).length(), 4);
+}
+
+TEST(Segmentation, UniformHandlesNonDividingLengths) {
+  const auto ch = uniform_segmentation(1, 10, 4);
+  const auto& t = ch.track(0);
+  ASSERT_EQ(t.num_segments(), 3);
+  EXPECT_EQ(t.segment(2).length(), 2);  // remainder
+}
+
+TEST(Segmentation, StaggeredTracksDifferButShareGrain) {
+  const auto ch = staggered_segmentation(4, 24, 8);
+  EXPECT_EQ(ch.num_tracks(), 4);
+  EXPECT_GT(ch.num_types(), 1);  // offsets produce distinct types
+  for (TrackId t = 0; t < 4; ++t) {
+    for (const Segment& s : ch.track(t).segments()) {
+      EXPECT_LE(s.length(), 8);
+    }
+  }
+}
+
+TEST(Segmentation, StaggeredSegmentLengthOneIsFullySegmented) {
+  const auto ch = staggered_segmentation(2, 6, 1);
+  EXPECT_EQ(ch.track(0).num_segments(), 6);
+}
+
+TEST(Segmentation, ProgressiveTypesCycle) {
+  const auto ch = progressive_segmentation(6, 32, 4, 3);
+  // Types: lengths 4, 8, 16 cycling across tracks.
+  EXPECT_EQ(ch.num_types(), 3);
+  EXPECT_EQ(ch.type_of()[0], ch.type_of()[3]);
+  EXPECT_EQ(ch.type_of()[1], ch.type_of()[4]);
+}
+
+TEST(Segmentation, RejectsBadParameters) {
+  EXPECT_THROW(uniform_segmentation(2, 10, 0), std::invalid_argument);
+  EXPECT_THROW(staggered_segmentation(0, 10, 2), std::invalid_argument);
+  EXPECT_THROW(progressive_segmentation(2, 10, 1, 0), std::invalid_argument);
+  std::vector<ConnectionSet> none;
+  EXPECT_THROW(design_segmentation(2, 10, none, 0.5), std::invalid_argument);
+}
+
+TEST(Segmentation, DesignerCoversSampleLengthRange) {
+  std::mt19937_64 rng(121);
+  std::vector<ConnectionSet> samples;
+  for (int s = 0; s < 5; ++s) {
+    samples.push_back(geometric_workload(30, 60, 6.0, rng));
+  }
+  const auto ch = design_segmentation(8, 60, samples);
+  EXPECT_EQ(ch.num_tracks(), 8);
+  EXPECT_EQ(ch.width(), 60);
+  // Quantile design: the shortest track's grain must not exceed the
+  // longest track's grain.
+  Column min_seg = 61, max_seg = 0;
+  for (TrackId t = 0; t < 8; ++t) {
+    for (const Segment& s : ch.track(t).segments()) {
+      min_seg = std::min(min_seg, s.length());
+      max_seg = std::max(max_seg, s.length());
+    }
+  }
+  EXPECT_LT(min_seg, max_seg);
+}
+
+TEST(Segmentation, DesignerWithNoSamplesFallsBack) {
+  const auto ch = design_segmentation(3, 40, {});
+  EXPECT_EQ(ch.num_tracks(), 3);
+  EXPECT_EQ(ch.width(), 40);
+}
+
+}  // namespace
+}  // namespace segroute::gen

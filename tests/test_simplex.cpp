@@ -1,0 +1,224 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace segroute::lp {
+namespace {
+
+TEST(Simplex, SimpleTwoVariableMaximization) {
+  // max 3x + 2y st x + y <= 4, x + 3y <= 6 -> x = 4, y = 0, obj 12.
+  Problem p;
+  const int x = p.add_variable(3.0);
+  const int y = p.add_variable(2.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::LessEq, 4.0);
+  p.add_constraint({{x, 1.0}, {y, 3.0}}, Relation::LessEq, 6.0);
+  const auto s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 12.0, 1e-8);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 4.0, 1e-8);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(y)], 0.0, 1e-8);
+}
+
+TEST(Simplex, InteriorOptimum) {
+  // max x + y st x <= 2, y <= 3 -> (2,3), obj 5.
+  Problem p;
+  const int x = p.add_variable(1.0);
+  const int y = p.add_variable(1.0);
+  p.add_upper_bound(x, 2.0);
+  p.add_upper_bound(y, 3.0);
+  const auto s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-8);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  Problem p;
+  p.add_variable(1.0);  // max x, x >= 0, no upper limit
+  EXPECT_EQ(solve(p).status, Status::Unbounded);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  // x <= 1 and x >= 2.
+  Problem p;
+  const int x = p.add_variable(1.0);
+  p.add_constraint({{x, 1.0}}, Relation::LessEq, 1.0);
+  p.add_constraint({{x, 1.0}}, Relation::GreaterEq, 2.0);
+  EXPECT_EQ(solve(p).status, Status::Infeasible);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // max x + 2y st x + y = 3, y <= 1 -> x = 2, y = 1, obj 4.
+  Problem p;
+  const int x = p.add_variable(1.0);
+  const int y = p.add_variable(2.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::Equal, 3.0);
+  p.add_upper_bound(y, 1.0);
+  const auto s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-8);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 2.0, 1e-8);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(y)], 1.0, 1e-8);
+}
+
+TEST(Simplex, GreaterEqualWithNegativeRhsNormalizes) {
+  // -x <= -2  (i.e. x >= 2), max -x -> x = 2.
+  Problem p;
+  const int x = p.add_variable(-1.0);
+  p.add_constraint({{x, -1.0}}, Relation::LessEq, -2.0);
+  const auto s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 2.0, 1e-8);
+  EXPECT_NEAR(s.objective, -2.0, 1e-8);
+}
+
+TEST(Simplex, RedundantConstraintsAreHarmless) {
+  Problem p;
+  const int x = p.add_variable(1.0);
+  p.add_upper_bound(x, 5.0);
+  p.add_upper_bound(x, 5.0);
+  p.add_constraint({{x, 2.0}}, Relation::LessEq, 10.0);
+  const auto s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-8);
+}
+
+TEST(Simplex, DegenerateVertexTerminates) {
+  // Multiple constraints active at the optimum.
+  Problem p;
+  const int x = p.add_variable(1.0);
+  const int y = p.add_variable(1.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::LessEq, 1.0);
+  p.add_constraint({{x, 1.0}}, Relation::LessEq, 1.0);
+  p.add_constraint({{y, 1.0}}, Relation::LessEq, 1.0);
+  p.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::LessEq, 1.0);
+  const auto s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-8);
+}
+
+TEST(Simplex, EqualityOnlySystem) {
+  // x + y = 2, x - y = 0 -> x = y = 1; max x + y = 2.
+  Problem p;
+  const int x = p.add_variable(1.0);
+  const int y = p.add_variable(1.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::Equal, 2.0);
+  p.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::Equal, 0.0);
+  const auto s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 1.0, 1e-8);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(y)], 1.0, 1e-8);
+}
+
+TEST(Simplex, InfeasibleEqualitySystem) {
+  Problem p;
+  const int x = p.add_variable(0.0);
+  p.add_constraint({{x, 1.0}}, Relation::Equal, 1.0);
+  p.add_constraint({{x, 1.0}}, Relation::Equal, 2.0);
+  EXPECT_EQ(solve(p).status, Status::Infeasible);
+}
+
+TEST(Simplex, ZeroObjectiveFeasibilityProblem) {
+  Problem p;
+  const int x = p.add_variable(0.0);
+  p.add_constraint({{x, 1.0}}, Relation::GreaterEq, 1.0);
+  p.add_upper_bound(x, 3.0);
+  const auto s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_GE(s.x[static_cast<std::size_t>(x)], 1.0 - 1e-8);
+  EXPECT_LE(s.x[static_cast<std::size_t>(x)], 3.0 + 1e-8);
+}
+
+TEST(Simplex, RejectsBadVariableIndex) {
+  Problem p;
+  p.add_variable(1.0);
+  EXPECT_THROW(p.add_constraint({{1, 1.0}}, Relation::LessEq, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(p.add_constraint({{-1, 1.0}}, Relation::LessEq, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Simplex, ArtificialsNeverReenterOnMinimizationWithEqualities) {
+  // Regression: a minimization (negative objective) over equality rows.
+  // Phase 2 must not let a phase-1 artificial re-enter the basis, or the
+  // "optimal" point violates the equalities. min 5x + 7y st x + y = 2,
+  // y <= 1 -> x = 1, y = 1, objective (max form) -12.
+  Problem p;
+  const int x = p.add_variable(-5.0);
+  const int y = p.add_variable(-7.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::Equal, 2.0);
+  p.add_upper_bound(x, 1.0);
+  const auto s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)] +
+                  s.x[static_cast<std::size_t>(y)],
+              2.0, 1e-8);
+  EXPECT_NEAR(s.objective, -12.0, 1e-8);
+}
+
+TEST(Simplex, RandomEqualitySystemsStayFeasible) {
+  // Sweep: random transportation-like minimization LPs; the returned
+  // point must satisfy every equality row.
+  std::mt19937_64 rng(2025);
+  std::uniform_real_distribution<double> cost(0.5, 9.5);
+  for (int iter = 0; iter < 30; ++iter) {
+    const int n = 2 + static_cast<int>(rng() % 3);
+    Problem p;
+    std::vector<std::vector<int>> v(static_cast<std::size_t>(n),
+                                    std::vector<int>(static_cast<std::size_t>(n)));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        v[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            p.add_variable(-cost(rng));  // minimize
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      std::vector<std::pair<int, double>> row, col;
+      for (int j = 0; j < n; ++j) {
+        row.emplace_back(v[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1.0);
+        col.emplace_back(v[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)], 1.0);
+      }
+      p.add_constraint(std::move(row), Relation::Equal, 1.0);
+      p.add_constraint(std::move(col), Relation::Equal, 1.0);
+    }
+    const auto s = solve(p);
+    ASSERT_EQ(s.status, Status::Optimal) << "iter " << iter;
+    for (int i = 0; i < n; ++i) {
+      double rsum = 0;
+      for (int j = 0; j < n; ++j) {
+        rsum += s.x[static_cast<std::size_t>(
+            v[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)])];
+      }
+      EXPECT_NEAR(rsum, 1.0, 1e-7) << "iter " << iter;
+    }
+  }
+}
+
+TEST(Simplex, AssignmentPolytopeVertexIsIntegral) {
+  // A 3x3 assignment LP: the relaxation optimum at a vertex must be 0/1
+  // (Birkhoff), which is exactly the property the Section IV-C heuristic
+  // exploits.
+  Problem p;
+  std::vector<int> v;
+  for (int i = 0; i < 9; ++i) v.push_back(p.add_variable(1.0));
+  for (int r = 0; r < 3; ++r) {
+    p.add_constraint({{v[static_cast<std::size_t>(3 * r)], 1.0},
+                      {v[static_cast<std::size_t>(3 * r + 1)], 1.0},
+                      {v[static_cast<std::size_t>(3 * r + 2)], 1.0}},
+                     Relation::LessEq, 1.0);
+    p.add_constraint({{v[static_cast<std::size_t>(r)], 1.0},
+                      {v[static_cast<std::size_t>(r + 3)], 1.0},
+                      {v[static_cast<std::size_t>(r + 6)], 1.0}},
+                     Relation::LessEq, 1.0);
+  }
+  const auto s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-8);
+  for (double xi : s.x) {
+    EXPECT_TRUE(xi < 1e-7 || xi > 1.0 - 1e-7) << xi;
+  }
+}
+
+}  // namespace
+}  // namespace segroute::lp

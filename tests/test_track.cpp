@@ -1,0 +1,133 @@
+#include "core/track.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace segroute {
+namespace {
+
+TEST(Track, BuildsSegmentsFromSwitchPositions) {
+  const Track t(9, {3, 6});
+  ASSERT_EQ(t.num_segments(), 3);
+  EXPECT_EQ(t.segment(0), (Segment{1, 3}));
+  EXPECT_EQ(t.segment(1), (Segment{4, 6}));
+  EXPECT_EQ(t.segment(2), (Segment{7, 9}));
+  EXPECT_EQ(t.width(), 9);
+}
+
+TEST(Track, AcceptsUnsortedSwitchLists) {
+  const Track t(9, {6, 3});
+  ASSERT_EQ(t.num_segments(), 3);
+  EXPECT_EQ(t.segment(1), (Segment{4, 6}));
+}
+
+TEST(Track, UnsegmentedIsOneSegment) {
+  const Track t = Track::unsegmented(12);
+  ASSERT_EQ(t.num_segments(), 1);
+  EXPECT_EQ(t.segment(0), (Segment{1, 12}));
+}
+
+TEST(Track, FullySegmentedHasUnitSegments) {
+  const Track t = Track::fully_segmented(5);
+  ASSERT_EQ(t.num_segments(), 5);
+  for (SegId s = 0; s < 5; ++s) {
+    EXPECT_EQ(t.segment(s).length(), 1);
+  }
+}
+
+TEST(Track, FullySegmentedWidthOne) {
+  const Track t = Track::fully_segmented(1);
+  EXPECT_EQ(t.num_segments(), 1);
+}
+
+TEST(Track, RejectsBadWidth) {
+  EXPECT_THROW(Track(0, {}), std::invalid_argument);
+  EXPECT_THROW(Track(-3, {}), std::invalid_argument);
+}
+
+TEST(Track, RejectsOutOfRangeSwitches) {
+  EXPECT_THROW(Track(9, {0}), std::invalid_argument);
+  EXPECT_THROW(Track(9, {9}), std::invalid_argument);  // after last column
+  EXPECT_THROW(Track(9, {10}), std::invalid_argument);
+}
+
+TEST(Track, RejectsDuplicateSwitches) {
+  EXPECT_THROW(Track(9, {3, 3}), std::invalid_argument);
+}
+
+TEST(Track, FromSegmentsValidatesContiguity) {
+  EXPECT_NO_THROW(Track::from_segments({{1, 4}, {5, 9}}));
+  EXPECT_THROW(Track::from_segments({{1, 4}, {6, 9}}), std::invalid_argument);
+  EXPECT_THROW(Track::from_segments({{1, 4}, {4, 9}}), std::invalid_argument);
+  EXPECT_THROW(Track::from_segments({{2, 9}}), std::invalid_argument);
+  EXPECT_THROW(Track::from_segments({}), std::invalid_argument);
+  EXPECT_THROW(Track::from_segments({{1, 0}}), std::invalid_argument);
+}
+
+TEST(Track, SegmentAtMapsEveryColumn) {
+  const Track t(9, {3, 6});
+  EXPECT_EQ(t.segment_at(1), 0);
+  EXPECT_EQ(t.segment_at(3), 0);
+  EXPECT_EQ(t.segment_at(4), 1);
+  EXPECT_EQ(t.segment_at(6), 1);
+  EXPECT_EQ(t.segment_at(7), 2);
+  EXPECT_EQ(t.segment_at(9), 2);
+}
+
+TEST(Track, SegmentAtRejectsOutsideColumns) {
+  const Track t(9, {3});
+  EXPECT_THROW(t.segment_at(0), std::out_of_range);
+  EXPECT_THROW(t.segment_at(10), std::out_of_range);
+}
+
+TEST(Track, SpanFollowsPaperOccupancyRule) {
+  // A connection occupies segment s iff right(s) >= left(c) and
+  // left(s) <= right(c).
+  const Track t(9, {3, 6});
+  EXPECT_EQ(t.span(1, 3), (std::pair<SegId, SegId>{0, 0}));
+  EXPECT_EQ(t.span(3, 4), (std::pair<SegId, SegId>{0, 1}));
+  EXPECT_EQ(t.span(2, 9), (std::pair<SegId, SegId>{0, 2}));
+  EXPECT_EQ(t.span(5, 5), (std::pair<SegId, SegId>{1, 1}));
+}
+
+TEST(Track, SpanRejectsInvertedRange) {
+  const Track t(9, {3});
+  EXPECT_THROW(t.span(5, 4), std::invalid_argument);
+}
+
+TEST(Track, SegmentsSpannedCounts) {
+  const Track t(9, {3, 6});
+  EXPECT_EQ(t.segments_spanned(1, 2), 1);
+  EXPECT_EQ(t.segments_spanned(3, 4), 2);
+  EXPECT_EQ(t.segments_spanned(1, 9), 3);
+}
+
+TEST(Track, OccupiedLengthSumsSegmentLengths) {
+  const Track t(9, {3, 6});
+  EXPECT_EQ(t.occupied_length(4, 5), 3);  // segment (4,6)
+  EXPECT_EQ(t.occupied_length(3, 4), 6);  // (1,3) + (4,6)
+  EXPECT_EQ(t.occupied_length(1, 9), 9);
+}
+
+TEST(Track, SwitchPositionsRoundTrip) {
+  const std::vector<Column> sw = {2, 5, 7};
+  const Track t(9, sw);
+  EXPECT_EQ(t.switch_positions(), sw);
+  EXPECT_TRUE(Track::unsegmented(9).switch_positions().empty());
+}
+
+TEST(Track, AlignToSegmentsExtendsToBoundaries) {
+  const Track t(9, {3, 6});
+  EXPECT_EQ(t.align_to_segments(4, 5), (std::pair<Column, Column>{4, 6}));
+  EXPECT_EQ(t.align_to_segments(2, 7), (std::pair<Column, Column>{1, 9}));
+  EXPECT_EQ(t.align_to_segments(1, 3), (std::pair<Column, Column>{1, 3}));
+}
+
+TEST(Track, EqualityIsSegmentwise) {
+  EXPECT_EQ(Track(9, {3}), Track(9, {3}));
+  EXPECT_FALSE(Track(9, {3}) == Track(9, {4}));
+}
+
+}  // namespace
+}  // namespace segroute

@@ -1,0 +1,75 @@
+#include "core/weights.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace segroute {
+namespace {
+
+SegmentedChannel ch() {
+  return SegmentedChannel({Track(9, {3, 6}), Track(9, {})});
+}
+
+TEST(Weights, OccupiedLengthIsSumOfSegmentLengths) {
+  const auto c = ch();
+  const auto w = weights::occupied_length();
+  EXPECT_DOUBLE_EQ(w(c, Connection{4, 5, ""}, 0), 3.0);  // (4,6)
+  EXPECT_DOUBLE_EQ(w(c, Connection{3, 4, ""}, 0), 6.0);  // (1,3)+(4,6)
+  EXPECT_DOUBLE_EQ(w(c, Connection{4, 5, ""}, 1), 9.0);  // whole track
+}
+
+TEST(Weights, SegmentCount) {
+  const auto c = ch();
+  const auto w = weights::segment_count();
+  EXPECT_DOUBLE_EQ(w(c, Connection{1, 9, ""}, 0), 3.0);
+  EXPECT_DOUBLE_EQ(w(c, Connection{1, 9, ""}, 1), 1.0);
+}
+
+TEST(Weights, SegmentsCappedForbidsAboveK) {
+  const auto c = ch();
+  const auto w = weights::segments_capped(2);
+  EXPECT_DOUBLE_EQ(w(c, Connection{3, 4, ""}, 0), 2.0);
+  EXPECT_TRUE(std::isinf(w(c, Connection{1, 9, ""}, 0)));
+  EXPECT_DOUBLE_EQ(w(c, Connection{1, 9, ""}, 1), 1.0);
+}
+
+TEST(Weights, WastedLengthIsOverhang) {
+  const auto c = ch();
+  const auto w = weights::wasted_length();
+  // (4,5) on track 0 occupies (4,6): one wasted column.
+  EXPECT_DOUBLE_EQ(w(c, Connection{4, 5, ""}, 0), 1.0);
+  // Exact fit wastes nothing.
+  EXPECT_DOUBLE_EQ(w(c, Connection{4, 6, ""}, 0), 0.0);
+}
+
+TEST(Weights, UnitWeight) {
+  const auto c = ch();
+  EXPECT_DOUBLE_EQ(weights::unit()(c, Connection{1, 1, ""}, 0), 1.0);
+}
+
+TEST(Weights, TotalWeightSumsAssignedConnections) {
+  const auto c = ch();
+  ConnectionSet cs;
+  cs.add(1, 3);
+  cs.add(4, 6);
+  Routing r(2);
+  r.assign(0, 0);
+  r.assign(1, 0);
+  EXPECT_DOUBLE_EQ(total_weight(c, cs, r, weights::occupied_length()), 6.0);
+}
+
+TEST(Weights, TotalWeightRejectsIncompleteOrMismatched) {
+  const auto c = ch();
+  ConnectionSet cs;
+  cs.add(1, 3);
+  Routing incomplete(1);
+  EXPECT_THROW(total_weight(c, cs, incomplete, weights::unit()),
+               std::invalid_argument);
+  Routing wrong_size(2);
+  EXPECT_THROW(total_weight(c, cs, wrong_size, weights::unit()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace segroute

@@ -1,0 +1,65 @@
+#include "gen/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace segroute::gen {
+namespace {
+
+TEST(Workload, UniformStaysInBounds) {
+  std::mt19937_64 rng(111);
+  const auto cs = uniform_workload(50, 20, rng);
+  EXPECT_EQ(cs.size(), 50);
+  for (const Connection& c : cs.all()) {
+    EXPECT_GE(c.left, 1);
+    EXPECT_LE(c.right, 20);
+    EXPECT_LE(c.left, c.right);
+  }
+}
+
+TEST(Workload, GeometricLengthsHaveRoughlyTheRequestedMean) {
+  std::mt19937_64 rng(112);
+  const double target = 6.0;
+  const auto cs = geometric_workload(4000, 1000, target, rng);
+  double mean = 0;
+  for (const Connection& c : cs.all()) mean += c.length();
+  mean /= cs.size();
+  // Clipping at the channel edge biases slightly low.
+  EXPECT_NEAR(mean, target, 1.0);
+}
+
+TEST(Workload, PoissonDensityTracksLambdaTimesLength) {
+  std::mt19937_64 rng(113);
+  const auto cs = poisson_workload(2000, 0.5, 6.0, rng);
+  // Expected density ~ lambda * mean_length = 3; allow wide slack but
+  // demand the right order of magnitude.
+  EXPECT_GT(cs.density(), 1);
+  EXPECT_LT(cs.density(), 20);
+}
+
+TEST(Workload, SameSeedSameWorkload) {
+  std::mt19937_64 a(7), b(7);
+  const auto csa = geometric_workload(20, 50, 4.0, a);
+  const auto csb = geometric_workload(20, 50, 4.0, b);
+  ASSERT_EQ(csa.size(), csb.size());
+  for (ConnId i = 0; i < csa.size(); ++i) {
+    EXPECT_EQ(csa[i], csb[i]);
+  }
+}
+
+TEST(Workload, RejectsBadParameters) {
+  std::mt19937_64 rng(114);
+  EXPECT_THROW(uniform_workload(-1, 10, rng), std::invalid_argument);
+  EXPECT_THROW(uniform_workload(5, 0, rng), std::invalid_argument);
+  EXPECT_THROW(geometric_workload(5, 10, 0.5, rng), std::invalid_argument);
+  EXPECT_THROW(poisson_workload(10, -1.0, 2.0, rng), std::invalid_argument);
+}
+
+TEST(Workload, ZeroConnectionsIsEmpty) {
+  std::mt19937_64 rng(115);
+  EXPECT_TRUE(uniform_workload(0, 10, rng).empty());
+}
+
+}  // namespace
+}  // namespace segroute::gen
