@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delay_tradeoff.dir/bench_delay_tradeoff.cpp.o"
+  "CMakeFiles/bench_delay_tradeoff.dir/bench_delay_tradeoff.cpp.o.d"
+  "bench_delay_tradeoff"
+  "bench_delay_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delay_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_express_channels.dir/bench_express_channels.cpp.o"
+  "CMakeFiles/bench_express_channels.dir/bench_express_channels.cpp.o.d"
+  "bench_express_channels"
+  "bench_express_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_express_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

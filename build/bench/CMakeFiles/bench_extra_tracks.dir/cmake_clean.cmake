@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_tracks.dir/bench_extra_tracks.cpp.o"
+  "CMakeFiles/bench_extra_tracks.dir/bench_extra_tracks.cpp.o.d"
+  "bench_extra_tracks"
+  "bench_extra_tracks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_tracks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

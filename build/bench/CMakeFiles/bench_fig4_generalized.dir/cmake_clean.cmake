@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_generalized.dir/bench_fig4_generalized.cpp.o"
+  "CMakeFiles/bench_fig4_generalized.dir/bench_fig4_generalized.cpp.o.d"
+  "bench_fig4_generalized"
+  "bench_fig4_generalized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_generalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

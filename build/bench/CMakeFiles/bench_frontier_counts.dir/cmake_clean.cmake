@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frontier_counts.dir/bench_frontier_counts.cpp.o"
+  "CMakeFiles/bench_frontier_counts.dir/bench_frontier_counts.cpp.o.d"
+  "bench_frontier_counts"
+  "bench_frontier_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frontier_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

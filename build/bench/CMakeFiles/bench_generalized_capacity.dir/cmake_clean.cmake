@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generalized_capacity.dir/bench_generalized_capacity.cpp.o"
+  "CMakeFiles/bench_generalized_capacity.dir/bench_generalized_capacity.cpp.o.d"
+  "bench_generalized_capacity"
+  "bench_generalized_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generalized_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_greedy2_exactness.dir/bench_greedy2_exactness.cpp.o"
+  "CMakeFiles/bench_greedy2_exactness.dir/bench_greedy2_exactness.cpp.o.d"
+  "bench_greedy2_exactness"
+  "bench_greedy2_exactness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_greedy2_exactness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

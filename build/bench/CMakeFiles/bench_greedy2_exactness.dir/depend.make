@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_greedy2_exactness.
+# This may be replaced when dependencies are built.

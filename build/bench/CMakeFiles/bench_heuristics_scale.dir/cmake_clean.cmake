@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heuristics_scale.dir/bench_heuristics_scale.cpp.o"
+  "CMakeFiles/bench_heuristics_scale.dir/bench_heuristics_scale.cpp.o.d"
+  "bench_heuristics_scale"
+  "bench_heuristics_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heuristics_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

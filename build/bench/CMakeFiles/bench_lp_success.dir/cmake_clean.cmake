@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lp_success.dir/bench_lp_success.cpp.o"
+  "CMakeFiles/bench_lp_success.dir/bench_lp_success.cpp.o.d"
+  "bench_lp_success"
+  "bench_lp_success.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lp_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimal_weights.dir/bench_optimal_weights.cpp.o"
+  "CMakeFiles/bench_optimal_weights.dir/bench_optimal_weights.cpp.o.d"
+  "bench_optimal_weights"
+  "bench_optimal_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimal_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_routability_curves.dir/bench_routability_curves.cpp.o"
+  "CMakeFiles/bench_routability_curves.dir/bench_routability_curves.cpp.o.d"
+  "bench_routability_curves"
+  "bench_routability_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_routability_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

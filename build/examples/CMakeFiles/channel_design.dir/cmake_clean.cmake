@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_design.dir/channel_design.cpp.o"
+  "CMakeFiles/channel_design.dir/channel_design.cpp.o.d"
+  "channel_design"
+  "channel_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

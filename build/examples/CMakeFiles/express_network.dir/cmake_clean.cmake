@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/express_network.dir/express_network.cpp.o"
+  "CMakeFiles/express_network.dir/express_network.cpp.o.d"
+  "express_network"
+  "express_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/express_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

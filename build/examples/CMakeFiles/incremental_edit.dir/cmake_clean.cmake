@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_edit.dir/incremental_edit.cpp.o"
+  "CMakeFiles/incremental_edit.dir/incremental_edit.cpp.o.d"
+  "incremental_edit"
+  "incremental_edit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_edit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

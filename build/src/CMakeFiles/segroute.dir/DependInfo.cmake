@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alg/anneal_route.cpp" "src/CMakeFiles/segroute.dir/alg/anneal_route.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/alg/anneal_route.cpp.o.d"
+  "/root/repo/src/alg/branch_bound.cpp" "src/CMakeFiles/segroute.dir/alg/branch_bound.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/alg/branch_bound.cpp.o.d"
+  "/root/repo/src/alg/capacity.cpp" "src/CMakeFiles/segroute.dir/alg/capacity.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/alg/capacity.cpp.o.d"
+  "/root/repo/src/alg/decompose.cpp" "src/CMakeFiles/segroute.dir/alg/decompose.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/alg/decompose.cpp.o.d"
+  "/root/repo/src/alg/dp.cpp" "src/CMakeFiles/segroute.dir/alg/dp.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/alg/dp.cpp.o.d"
+  "/root/repo/src/alg/exhaustive.cpp" "src/CMakeFiles/segroute.dir/alg/exhaustive.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/alg/exhaustive.cpp.o.d"
+  "/root/repo/src/alg/generalized_dp.cpp" "src/CMakeFiles/segroute.dir/alg/generalized_dp.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/alg/generalized_dp.cpp.o.d"
+  "/root/repo/src/alg/greedy1.cpp" "src/CMakeFiles/segroute.dir/alg/greedy1.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/alg/greedy1.cpp.o.d"
+  "/root/repo/src/alg/greedy2track.cpp" "src/CMakeFiles/segroute.dir/alg/greedy2track.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/alg/greedy2track.cpp.o.d"
+  "/root/repo/src/alg/left_edge.cpp" "src/CMakeFiles/segroute.dir/alg/left_edge.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/alg/left_edge.cpp.o.d"
+  "/root/repo/src/alg/lp_route.cpp" "src/CMakeFiles/segroute.dir/alg/lp_route.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/alg/lp_route.cpp.o.d"
+  "/root/repo/src/alg/match1.cpp" "src/CMakeFiles/segroute.dir/alg/match1.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/alg/match1.cpp.o.d"
+  "/root/repo/src/alg/online.cpp" "src/CMakeFiles/segroute.dir/alg/online.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/alg/online.cpp.o.d"
+  "/root/repo/src/core/channel.cpp" "src/CMakeFiles/segroute.dir/core/channel.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/core/channel.cpp.o.d"
+  "/root/repo/src/core/connection.cpp" "src/CMakeFiles/segroute.dir/core/connection.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/core/connection.cpp.o.d"
+  "/root/repo/src/core/generalized.cpp" "src/CMakeFiles/segroute.dir/core/generalized.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/core/generalized.cpp.o.d"
+  "/root/repo/src/core/routing.cpp" "src/CMakeFiles/segroute.dir/core/routing.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/core/routing.cpp.o.d"
+  "/root/repo/src/core/segment.cpp" "src/CMakeFiles/segroute.dir/core/segment.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/core/segment.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/CMakeFiles/segroute.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/core/stats.cpp.o.d"
+  "/root/repo/src/core/track.cpp" "src/CMakeFiles/segroute.dir/core/track.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/core/track.cpp.o.d"
+  "/root/repo/src/core/weights.cpp" "src/CMakeFiles/segroute.dir/core/weights.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/core/weights.cpp.o.d"
+  "/root/repo/src/fpga/delay.cpp" "src/CMakeFiles/segroute.dir/fpga/delay.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/fpga/delay.cpp.o.d"
+  "/root/repo/src/fpga/device.cpp" "src/CMakeFiles/segroute.dir/fpga/device.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/fpga/device.cpp.o.d"
+  "/root/repo/src/fpga/netlist.cpp" "src/CMakeFiles/segroute.dir/fpga/netlist.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/fpga/netlist.cpp.o.d"
+  "/root/repo/src/fpga/place.cpp" "src/CMakeFiles/segroute.dir/fpga/place.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/fpga/place.cpp.o.d"
+  "/root/repo/src/gen/fixtures.cpp" "src/CMakeFiles/segroute.dir/gen/fixtures.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/gen/fixtures.cpp.o.d"
+  "/root/repo/src/gen/segmentation.cpp" "src/CMakeFiles/segroute.dir/gen/segmentation.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/gen/segmentation.cpp.o.d"
+  "/root/repo/src/gen/suite.cpp" "src/CMakeFiles/segroute.dir/gen/suite.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/gen/suite.cpp.o.d"
+  "/root/repo/src/gen/workload.cpp" "src/CMakeFiles/segroute.dir/gen/workload.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/gen/workload.cpp.o.d"
+  "/root/repo/src/io/json.cpp" "src/CMakeFiles/segroute.dir/io/json.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/io/json.cpp.o.d"
+  "/root/repo/src/io/render.cpp" "src/CMakeFiles/segroute.dir/io/render.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/io/render.cpp.o.d"
+  "/root/repo/src/io/svg.cpp" "src/CMakeFiles/segroute.dir/io/svg.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/io/svg.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/CMakeFiles/segroute.dir/io/table.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/io/table.cpp.o.d"
+  "/root/repo/src/io/text.cpp" "src/CMakeFiles/segroute.dir/io/text.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/io/text.cpp.o.d"
+  "/root/repo/src/lp/simplex.cpp" "src/CMakeFiles/segroute.dir/lp/simplex.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/lp/simplex.cpp.o.d"
+  "/root/repo/src/match/hopcroft_karp.cpp" "src/CMakeFiles/segroute.dir/match/hopcroft_karp.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/match/hopcroft_karp.cpp.o.d"
+  "/root/repo/src/match/hungarian.cpp" "src/CMakeFiles/segroute.dir/match/hungarian.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/match/hungarian.cpp.o.d"
+  "/root/repo/src/net/express.cpp" "src/CMakeFiles/segroute.dir/net/express.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/net/express.cpp.o.d"
+  "/root/repo/src/npc/nmts.cpp" "src/CMakeFiles/segroute.dir/npc/nmts.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/npc/nmts.cpp.o.d"
+  "/root/repo/src/npc/propositions.cpp" "src/CMakeFiles/segroute.dir/npc/propositions.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/npc/propositions.cpp.o.d"
+  "/root/repo/src/npc/reduction.cpp" "src/CMakeFiles/segroute.dir/npc/reduction.cpp.o" "gcc" "src/CMakeFiles/segroute.dir/npc/reduction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

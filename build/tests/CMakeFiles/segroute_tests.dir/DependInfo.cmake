@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_anneal_route.cpp" "tests/CMakeFiles/segroute_tests.dir/test_anneal_route.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_anneal_route.cpp.o.d"
+  "/root/repo/tests/test_branch_bound.cpp" "tests/CMakeFiles/segroute_tests.dir/test_branch_bound.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_branch_bound.cpp.o.d"
+  "/root/repo/tests/test_capacity.cpp" "tests/CMakeFiles/segroute_tests.dir/test_capacity.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_capacity.cpp.o.d"
+  "/root/repo/tests/test_channel.cpp" "tests/CMakeFiles/segroute_tests.dir/test_channel.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_channel.cpp.o.d"
+  "/root/repo/tests/test_connection.cpp" "tests/CMakeFiles/segroute_tests.dir/test_connection.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_connection.cpp.o.d"
+  "/root/repo/tests/test_decompose.cpp" "tests/CMakeFiles/segroute_tests.dir/test_decompose.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_decompose.cpp.o.d"
+  "/root/repo/tests/test_delay.cpp" "tests/CMakeFiles/segroute_tests.dir/test_delay.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_delay.cpp.o.d"
+  "/root/repo/tests/test_device.cpp" "tests/CMakeFiles/segroute_tests.dir/test_device.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_device.cpp.o.d"
+  "/root/repo/tests/test_dp.cpp" "tests/CMakeFiles/segroute_tests.dir/test_dp.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_dp.cpp.o.d"
+  "/root/repo/tests/test_express.cpp" "tests/CMakeFiles/segroute_tests.dir/test_express.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_express.cpp.o.d"
+  "/root/repo/tests/test_fixtures.cpp" "tests/CMakeFiles/segroute_tests.dir/test_fixtures.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_fixtures.cpp.o.d"
+  "/root/repo/tests/test_generalized_dp.cpp" "tests/CMakeFiles/segroute_tests.dir/test_generalized_dp.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_generalized_dp.cpp.o.d"
+  "/root/repo/tests/test_generalized_routing.cpp" "tests/CMakeFiles/segroute_tests.dir/test_generalized_routing.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_generalized_routing.cpp.o.d"
+  "/root/repo/tests/test_greedy1.cpp" "tests/CMakeFiles/segroute_tests.dir/test_greedy1.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_greedy1.cpp.o.d"
+  "/root/repo/tests/test_greedy2track.cpp" "tests/CMakeFiles/segroute_tests.dir/test_greedy2track.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_greedy2track.cpp.o.d"
+  "/root/repo/tests/test_hopcroft_karp.cpp" "tests/CMakeFiles/segroute_tests.dir/test_hopcroft_karp.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_hopcroft_karp.cpp.o.d"
+  "/root/repo/tests/test_hungarian.cpp" "tests/CMakeFiles/segroute_tests.dir/test_hungarian.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_hungarian.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/segroute_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/segroute_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_left_edge.cpp" "tests/CMakeFiles/segroute_tests.dir/test_left_edge.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_left_edge.cpp.o.d"
+  "/root/repo/tests/test_lp_optimal.cpp" "tests/CMakeFiles/segroute_tests.dir/test_lp_optimal.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_lp_optimal.cpp.o.d"
+  "/root/repo/tests/test_lp_route.cpp" "tests/CMakeFiles/segroute_tests.dir/test_lp_route.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_lp_route.cpp.o.d"
+  "/root/repo/tests/test_match1.cpp" "tests/CMakeFiles/segroute_tests.dir/test_match1.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_match1.cpp.o.d"
+  "/root/repo/tests/test_netlist_place.cpp" "tests/CMakeFiles/segroute_tests.dir/test_netlist_place.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_netlist_place.cpp.o.d"
+  "/root/repo/tests/test_nmts.cpp" "tests/CMakeFiles/segroute_tests.dir/test_nmts.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_nmts.cpp.o.d"
+  "/root/repo/tests/test_online.cpp" "tests/CMakeFiles/segroute_tests.dir/test_online.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_online.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/segroute_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_propositions.cpp" "tests/CMakeFiles/segroute_tests.dir/test_propositions.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_propositions.cpp.o.d"
+  "/root/repo/tests/test_reduction.cpp" "tests/CMakeFiles/segroute_tests.dir/test_reduction.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_reduction.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/segroute_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_segment.cpp" "tests/CMakeFiles/segroute_tests.dir/test_segment.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_segment.cpp.o.d"
+  "/root/repo/tests/test_segmentation.cpp" "tests/CMakeFiles/segroute_tests.dir/test_segmentation.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_segmentation.cpp.o.d"
+  "/root/repo/tests/test_simplex.cpp" "tests/CMakeFiles/segroute_tests.dir/test_simplex.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_simplex.cpp.o.d"
+  "/root/repo/tests/test_stats_svg.cpp" "tests/CMakeFiles/segroute_tests.dir/test_stats_svg.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_stats_svg.cpp.o.d"
+  "/root/repo/tests/test_suite_instances.cpp" "tests/CMakeFiles/segroute_tests.dir/test_suite_instances.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_suite_instances.cpp.o.d"
+  "/root/repo/tests/test_track.cpp" "tests/CMakeFiles/segroute_tests.dir/test_track.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_track.cpp.o.d"
+  "/root/repo/tests/test_weights.cpp" "tests/CMakeFiles/segroute_tests.dir/test_weights.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_weights.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/segroute_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/segroute_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/segroute.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
