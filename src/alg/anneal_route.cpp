@@ -54,13 +54,14 @@ RouteResult anneal_route(const SegmentedChannel& ch, const ConnectionSet& cs,
   RouteResult res;
   res.routing = Routing(cs.size());
   if (cs.max_right() > ch.width()) {
-    res.note = "connections exceed channel width";
+    res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
     return res;
   }
   if (cs.size() == 0) {
     res.success = true;
     return res;
   }
+  harness::BudgetMeter meter(opts.budget);
 
   // Feasible track lists (K-segment pre-filter). A connection with no
   // feasible track dooms the instance outright.
@@ -75,8 +76,9 @@ RouteResult anneal_route(const SegmentedChannel& ch, const ConnectionSet& cs,
       options[static_cast<std::size_t>(i)].push_back(t);
     }
     if (options[static_cast<std::size_t>(i)].empty()) {
-      res.note = "connection " + std::to_string(i) +
-                 " has no track within the segment limit";
+      res.fail(FailureKind::kInfeasible,
+               "connection " + std::to_string(i) +
+                   " has no track within the segment limit");
       return res;
     }
   }
@@ -99,6 +101,11 @@ RouteResult anneal_route(const SegmentedChannel& ch, const ConnectionSet& cs,
     double temp = opts.t_start;
     for (int it = 0; it < opts.iterations && state.cost() > 0;
          ++it, temp *= cooling) {
+      if (!meter.tick()) {
+        res.fail(FailureKind::kBudgetExhausted,
+                 "budget exhausted: " + meter.reason());
+        return res;
+      }
       ++res.stats.iterations;
       const ConnId i = static_cast<ConnId>(rng() % static_cast<unsigned>(cs.size()));
       const auto& opt = options[static_cast<std::size_t>(i)];
@@ -125,8 +132,9 @@ RouteResult anneal_route(const SegmentedChannel& ch, const ConnectionSet& cs,
       return res;
     }
   }
-  res.note = "no conflict-free assignment found (" +
-             std::to_string(std::max(1, opts.restarts)) + " restarts)";
+  res.fail(FailureKind::kInfeasible,
+           "no conflict-free assignment found (" +
+               std::to_string(std::max(1, opts.restarts)) + " restarts)");
   return res;
 }
 

@@ -16,6 +16,7 @@
 #include "alg/result.h"
 #include "core/channel.h"
 #include "core/connection.h"
+#include "harness/budget.h"
 
 namespace segroute::alg {
 
@@ -26,6 +27,10 @@ struct AnnealRouteOptions {
   double t_start = 2.0;
   double t_end = 0.01;
   std::uint64_t seed = 0xa11ea1u;
+
+  /// Resource bounds checked once per attempted move; exhaustion yields
+  /// FailureKind::kBudgetExhausted (no routing was reached in budget).
+  harness::Budget budget;
 };
 
 /// Anneals toward a conflict-free assignment. stats.iterations counts

@@ -19,6 +19,7 @@ struct Search {
   const SegmentedChannel& ch;
   const ConnectionSet& cs;
   const BranchBoundOptions& opts;
+  harness::BudgetMeter meter;
   std::vector<ConnId> order;
   std::vector<std::vector<Choice>> choices;  // per depth, cheapest first
   std::vector<double> suffix_bound;  // sum of per-conn minima from depth d
@@ -32,12 +33,12 @@ struct Search {
 
   Search(const SegmentedChannel& c, const ConnectionSet& s,
          const BranchBoundOptions& o)
-      : ch(c), cs(s), opts(o), order(s.sorted_by_left()), occ(c),
-        current(s.size()), best(s.size()) {}
+      : ch(c), cs(s), opts(o), meter(o.budget), order(s.sorted_by_left()),
+        occ(c), current(s.size()), best(s.size()) {}
 
   void dfs(std::size_t depth, double cost) {
     if (aborted) return;
-    if (++nodes > opts.max_nodes) {
+    if (++nodes > opts.max_nodes || !meter.tick()) {
       aborted = true;
       return;
     }
@@ -72,7 +73,7 @@ RouteResult branch_bound_route(const SegmentedChannel& ch,
   RouteResult res;
   res.routing = Routing(cs.size());
   if (cs.max_right() > ch.width()) {
-    res.note = "connections exceed channel width";
+    res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
     return res;
   }
   if (cs.size() == 0) {
@@ -95,8 +96,9 @@ RouteResult branch_bound_route(const SegmentedChannel& ch,
       opt.push_back(Choice{t, weight});
     }
     if (opt.empty()) {
-      res.note = "connection " + std::to_string(s.order[d]) +
-                 " has no feasible track";
+      res.fail(FailureKind::kInfeasible,
+               "connection " + std::to_string(s.order[d]) +
+                   " has no feasible track");
       return res;
     }
     std::sort(opt.begin(), opt.end(), [](const Choice& a, const Choice& b) {
@@ -113,8 +115,15 @@ RouteResult branch_bound_route(const SegmentedChannel& ch,
   s.dfs(0, 0.0);
   res.stats.iterations = s.nodes;
   if (!s.found) {
-    res.note = s.aborted ? "node limit exceeded before any routing was found"
-                         : "no routing exists (search exhausted)";
+    if (s.aborted) {
+      res.fail(FailureKind::kBudgetExhausted,
+               s.meter.exhausted()
+                   ? "budget exhausted before any routing was found: " +
+                         s.meter.reason()
+                   : "node limit exceeded before any routing was found");
+    } else {
+      res.fail(FailureKind::kInfeasible, "no routing exists (search exhausted)");
+    }
     return res;
   }
   res.success = true;

@@ -13,18 +13,24 @@
 #include "core/channel.h"
 #include "core/connection.h"
 #include "core/weights.h"
+#include "harness/budget.h"
 
 namespace segroute::alg {
 
 struct BranchBoundOptions {
   int max_segments = 0;                    // K-segment limit (0 = unlimited)
   std::uint64_t max_nodes = 50'000'000;    // search-tree safety valve
+
+  /// Resource bounds checked once per expanded search node; exhaustion
+  /// behaves like max_nodes (anytime: best-so-far if one was found, else
+  /// FailureKind::kBudgetExhausted).
+  harness::Budget budget;
 };
 
 /// Finds a minimum-total-weight routing (or proves none exists).
-/// stats.iterations counts expanded search nodes. Exceeding max_nodes
-/// returns the best routing found so far with success only if complete
-/// (note explains).
+/// stats.iterations counts expanded search nodes. Exceeding max_nodes or
+/// the budget returns the best routing found so far with success only if
+/// complete (note explains; failure classifies).
 RouteResult branch_bound_route(const SegmentedChannel& ch,
                                const ConnectionSet& cs, const WeightFn& w,
                                const BranchBoundOptions& opts = {});

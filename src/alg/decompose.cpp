@@ -60,7 +60,7 @@ RouteResult decompose_route(const SegmentedChannel& ch,
   RouteResult res;
   res.routing = Routing(cs.size());
   if (cs.max_right() > ch.width()) {
-    res.note = "connections exceed channel width";
+    res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
     return res;
   }
   const auto parts = split_parts(ch, cs);
@@ -73,8 +73,8 @@ RouteResult decompose_route(const SegmentedChannel& ch,
     res.stats.iterations += r.stats.iterations;
     res.stats.nodes_per_level.push_back(ids.size());
     if (!r.success) {
-      res.note = "part of " + std::to_string(ids.size()) +
-                 " connections failed: " + r.note;
+      res.fail(r.failure, "part of " + std::to_string(ids.size()) +
+                              " connections failed: " + r.note);
       return res;
     }
     for (ConnId k = 0; k < sub.size(); ++k) {

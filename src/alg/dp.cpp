@@ -37,9 +37,10 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
   RouteResult res;
   res.routing = Routing(cs.size());
   if (cs.max_right() > ch.width()) {
-    res.note = "connections exceed channel width";
+    res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
     return res;
   }
+  harness::BudgetMeter meter(opts.budget);
 
   const TrackId T = ch.num_tracks();
 
@@ -97,6 +98,12 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
     for (std::int64_t ni : level) {
       // NOTE: nodes may reallocate inside the loop; re-fetch by index.
       for (int cl = 0; cl < num_classes; ++cl) {
+        if (!meter.tick()) {
+          res.fail(FailureKind::kBudgetExhausted,
+                   "budget exhausted: " + meter.reason());
+          res.stats.total_nodes = nodes.size();
+          return res;
+        }
         const Column frontier_at_cl = [&] {
           // A class can host the connection iff its smallest frontier entry
           // equals L (entries are normalized to >= L, and availability
@@ -138,7 +145,8 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
         auto it = seen.find(f);
         if (it == seen.end()) {
           if (nodes.size() >= opts.max_total_nodes) {
-            res.note = "assignment graph exceeded node limit";
+            res.fail(FailureKind::kBudgetExhausted,
+                     "assignment graph exceeded node limit");
             return res;
           }
           const std::int64_t id = static_cast<std::int64_t>(nodes.size());
@@ -155,10 +163,11 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
       }
     }
     if (next_level.empty()) {
-      res.note = "no valid assignment of connection " +
-                 std::to_string(order[static_cast<std::size_t>(step)]) +
-                 " extends any frontier (level " + std::to_string(step + 1) +
-                 " empty)";
+      res.fail(FailureKind::kInfeasible,
+               "no valid assignment of connection " +
+                   std::to_string(order[static_cast<std::size_t>(step)]) +
+                   " extends any frontier (level " + std::to_string(step + 1) +
+                   " empty)");
       res.stats.nodes_per_level.push_back(0);
       res.stats.total_nodes = nodes.size();
       res.stats.max_level_nodes =
@@ -209,8 +218,7 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
     }
     // Guaranteed by the DP invariant; guard anyway.
     if (chosen == kNoTrack) {
-      res.note = "internal: replay failed";
-      res.success = false;
+      res.fail(FailureKind::kInternal, "internal: replay failed");
       return res;
     }
     const Track& tr = ch.track(chosen);

@@ -24,6 +24,7 @@
 #include "core/channel.h"
 #include "core/connection.h"
 #include "core/weights.h"
+#include "harness/budget.h"
 
 namespace segroute::alg {
 
@@ -42,9 +43,14 @@ struct DpOptions {
   /// tracks (Theorem 7). Disable to measure the raw Theorem-5/6 bounds.
   bool canonicalize_types = true;
 
-  /// Safety valve: abort (success=false, note explains) if the assignment
-  /// graph exceeds this many nodes.
+  /// Safety valve: abort (success=false, failure=kBudgetExhausted) if the
+  /// assignment graph exceeds this many nodes.
   std::uint64_t max_total_nodes = 20'000'000;
+
+  /// Resource bounds checked in the hot loop (one tick per attempted
+  /// frontier expansion). On exhaustion the router returns a structured
+  /// FailureKind::kBudgetExhausted failure instead of running unbounded.
+  harness::Budget budget;
 };
 
 /// Runs the assignment-graph DP. On success the routing is complete and

@@ -13,24 +13,27 @@ struct Search {
   const SegmentedChannel& ch;
   const ConnectionSet& cs;
   const ExhaustiveOptions& opts;
+  harness::BudgetMeter meter;
   std::vector<ConnId> order;
   Occupancy occ;
   Routing current;
   Routing best;
   double best_weight = std::numeric_limits<double>::infinity();
   bool found = false;
-  bool aborted = false;
+  bool aborted = false;        // stop the DFS (first solution, or budget)
+  bool out_of_budget = false;  // branch limit or Budget hit
   std::uint64_t branches = 0;
 
   Search(const SegmentedChannel& c, const ConnectionSet& s,
          const ExhaustiveOptions& o)
-      : ch(c), cs(s), opts(o), order(s.sorted_by_left()), occ(c),
-        current(s.size()), best(s.size()) {}
+      : ch(c), cs(s), opts(o), meter(o.budget), order(s.sorted_by_left()),
+        occ(c), current(s.size()), best(s.size()) {}
 
   void dfs(std::size_t depth, double weight_so_far) {
     if (aborted) return;
-    if (++branches > opts.max_branches) {
+    if (++branches > opts.max_branches || !meter.tick()) {
       aborted = true;
+      out_of_budget = true;
       return;
     }
     if (opts.weight && weight_so_far >= best_weight) return;  // bound
@@ -75,23 +78,31 @@ RouteResult exhaustive_route(const SegmentedChannel& ch,
   RouteResult res;
   res.routing = Routing(cs.size());
   if (cs.max_right() > ch.width()) {
-    res.note = "connections exceed channel width";
+    res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
     return res;
   }
   Search s(ch, cs, opts);
   s.dfs(0, 0.0);
   res.stats.iterations = s.branches;
-  if (s.branches > opts.max_branches && !s.found) {
-    res.note = "branch limit exceeded";
-    return res;
-  }
+  // The two historical failure modes ("branch limit exceeded" vs "no
+  // routing exists") were distinguishable only by string comparison; they
+  // are now distinct FailureKinds.
   if (!s.found) {
-    res.note = "no routing exists (search exhausted)";
+    if (s.out_of_budget) {
+      res.fail(FailureKind::kBudgetExhausted,
+               s.meter.exhausted() ? "budget exhausted: " + s.meter.reason()
+                                   : "branch limit exceeded");
+    } else {
+      res.fail(FailureKind::kInfeasible, "no routing exists (search exhausted)");
+    }
     return res;
   }
   res.success = true;
   res.routing = s.best;
   res.weight = opts.weight ? s.best_weight : 0.0;
+  if (s.out_of_budget && opts.weight) {
+    res.note = "budget exhausted: best routing found so far (may be suboptimal)";
+  }
   return res;
 }
 

@@ -8,6 +8,7 @@
 #include "core/channel.h"
 #include "core/connection.h"
 #include "core/weights.h"
+#include "harness/budget.h"
 
 namespace segroute::alg {
 
@@ -15,12 +16,18 @@ struct ExhaustiveOptions {
   int max_segments = 0;                 // 0 = unlimited
   std::optional<WeightFn> weight;       // if set, find the minimum-weight routing
   std::uint64_t max_branches = 50'000'000;  // safety valve
+
+  /// Resource bounds checked once per explored branch; exhaustion yields
+  /// FailureKind::kBudgetExhausted like max_branches.
+  harness::Budget budget;
 };
 
 /// Tries every assignment by depth-first search (connections in left-end
 /// order). With `weight`, performs branch-and-bound for the optimum.
-/// stats.iterations counts explored branches. Throws nothing; exceeding
-/// max_branches returns success=false with a note.
+/// stats.iterations counts explored branches. Throws nothing. The two
+/// failure modes are distinct FailureKinds: kBudgetExhausted (branch
+/// limit / budget hit before an answer) vs kInfeasible (search completed,
+/// no routing exists).
 RouteResult exhaustive_route(const SegmentedChannel& ch,
                              const ConnectionSet& cs,
                              const ExhaustiveOptions& opts = {});

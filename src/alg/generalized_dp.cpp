@@ -63,9 +63,10 @@ GeneralizedRouteResult generalized_dp_route(const SegmentedChannel& ch,
   GeneralizedRouteResult res;
   res.routing = GeneralizedRouting(cs.size());
   if (cs.max_right() > ch.width()) {
-    res.note = "connections exceed channel width";
+    res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
     return res;
   }
+  harness::BudgetMeter meter(opts.budget);
   const TrackId T = ch.num_tracks();
   const bool track_prev =
       opts.allowed_switch_columns.has_value() || opts.switch_requires_overlap;
@@ -102,6 +103,12 @@ GeneralizedRouteResult generalized_dp_route(const SegmentedChannel& ch,
 
     for (std::int64_t ni : level) {
       for (TrackId t = 0; t < T; ++t) {
+        if (!meter.tick()) {
+          res.fail(FailureKind::kBudgetExhausted,
+                   "budget exhausted: " + meter.reason());
+          res.stats.total_nodes = nodes.size();
+          return res;
+        }
         const Entry e = nodes[static_cast<std::size_t>(ni)]
                             .state[static_cast<std::size_t>(t)];
         const bool seg_free = e.next_free == u.col;
@@ -162,7 +169,8 @@ GeneralizedRouteResult generalized_dp_route(const SegmentedChannel& ch,
         auto it = seen.find(st);
         if (it == seen.end()) {
           if (nodes.size() >= opts.max_total_nodes) {
-            res.note = "assignment graph exceeded node limit";
+            res.fail(FailureKind::kBudgetExhausted,
+                     "assignment graph exceeded node limit");
             return res;
           }
           const std::int64_t id = static_cast<std::int64_t>(nodes.size());
@@ -173,8 +181,9 @@ GeneralizedRouteResult generalized_dp_route(const SegmentedChannel& ch,
       }
     }
     if (next_level.empty()) {
-      res.note = "no generalized routing: level " + std::to_string(step + 1) +
-                 " empty (column " + std::to_string(u.col) + ")";
+      res.fail(FailureKind::kInfeasible,
+               "no generalized routing: level " + std::to_string(step + 1) +
+                   " empty (column " + std::to_string(u.col) + ")");
       res.stats.nodes_per_level.push_back(0);
       res.stats.total_nodes = nodes.size();
       res.stats.max_level_nodes =

@@ -13,6 +13,7 @@
 #include "core/channel.h"
 #include "core/connection.h"
 #include "core/generalized.h"
+#include "harness/budget.h"
 
 namespace segroute::alg {
 
@@ -30,16 +31,27 @@ struct GeneralizedDpOptions {
 
   /// Safety valve on assignment-graph size.
   std::uint64_t max_total_nodes = 50'000'000;
+
+  /// Resource bounds checked in the hot loop (one tick per attempted
+  /// state expansion); exhaustion yields FailureKind::kBudgetExhausted.
+  harness::Budget budget;
 };
 
 /// Result of a generalized routing attempt.
 struct GeneralizedRouteResult {
   bool success = false;
   GeneralizedRouting routing;
+  FailureKind failure = FailureKind::kNone;  // kNone iff success
   std::string note;
   RouteStats stats;
 
   explicit operator bool() const { return success; }
+
+  void fail(FailureKind kind, std::string why) {
+    success = false;
+    failure = kind;
+    note = std::move(why);
+  }
 };
 
 /// Solves Problem 4 (or its restricted variants per `opts`).

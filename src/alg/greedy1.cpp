@@ -13,7 +13,7 @@ RouteResult greedy1_route_traced(const SegmentedChannel& ch,
     trace->segment_of.assign(static_cast<std::size_t>(cs.size()), -1);
   }
   if (cs.max_right() > ch.width()) {
-    res.note = "connections exceed channel width";
+    res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
     return res;
   }
   Occupancy occ(ch);
@@ -38,8 +38,9 @@ RouteResult greedy1_route_traced(const SegmentedChannel& ch,
       }
     }
     if (best == kNoTrack) {
-      res.note = "no single unoccupied segment can hold connection " +
-                 std::to_string(i);
+      res.fail(FailureKind::kInfeasible,
+               "no single unoccupied segment can hold connection " +
+                   std::to_string(i));
       return res;
     }
     occ.place(best, c.left, c.right, i);

@@ -16,7 +16,7 @@ RouteResult greedy2track_route(const SegmentedChannel& ch,
   RouteResult res;
   res.routing = Routing(cs.size());
   if (cs.max_right() > ch.width()) {
-    res.note = "connections exceed channel width";
+    res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
     return res;
   }
 
@@ -79,23 +79,25 @@ RouteResult greedy2track_route(const SegmentedChannel& ch,
       emit(Greedy2Event{Greedy2Event::Kind::AssignedSegment, i, best, {}});
     }
     if (static_cast<int>(pool.size()) > unused_tracks) {
-      res.note = "pooled connections exceed unoccupied tracks (no routing)";
+      res.fail(FailureKind::kInfeasible,
+               "pooled connections exceed unoccupied tracks (no routing)");
       return res;
     }
     if (!pool.empty() && static_cast<int>(pool.size()) == unused_tracks) {
       if (!flush_pool_to(Greedy2Event::Kind::PoolFlushed)) {
-        res.note = "internal: pool flush failed";
+        res.fail(FailureKind::kInternal, "internal: pool flush failed");
         return res;
       }
     }
   }
   if (!pool.empty()) {
     if (static_cast<int>(pool.size()) > unused_tracks) {
-      res.note = "pooled connections exceed unoccupied tracks (no routing)";
+      res.fail(FailureKind::kInfeasible,
+               "pooled connections exceed unoccupied tracks (no routing)");
       return res;
     }
     if (!flush_pool_to(Greedy2Event::Kind::FinalPoolAssign)) {
-      res.note = "internal: final pool assignment failed";
+      res.fail(FailureKind::kInternal, "internal: final pool assignment failed");
       return res;
     }
   }

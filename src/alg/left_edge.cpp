@@ -15,7 +15,7 @@ RouteResult left_edge_route(const SegmentedChannel& ch, const ConnectionSet& cs,
   RouteResult res;
   res.routing = Routing(cs.size());
   if (cs.max_right() > ch.width()) {
-    res.note = "connections exceed channel width";
+    res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
     return res;
   }
   Occupancy occ(ch);
@@ -23,8 +23,9 @@ RouteResult left_edge_route(const SegmentedChannel& ch, const ConnectionSet& cs,
     const Connection& c = cs[i];
     if (max_segments > 0 &&
         ch.track(0).segments_spanned(c.left, c.right) > max_segments) {
-      res.note = "connection " + std::to_string(i) + " needs more than " +
-                 std::to_string(max_segments) + " segments in every track";
+      res.fail(FailureKind::kInfeasible,
+               "connection " + std::to_string(i) + " needs more than " +
+                   std::to_string(max_segments) + " segments in every track");
       return res;
     }
     bool placed = false;
@@ -36,7 +37,8 @@ RouteResult left_edge_route(const SegmentedChannel& ch, const ConnectionSet& cs,
       }
     }
     if (!placed) {
-      res.note = "no free track for connection " + std::to_string(i);
+      res.fail(FailureKind::kInfeasible,
+               "no free track for connection " + std::to_string(i));
       return res;
     }
   }

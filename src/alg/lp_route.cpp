@@ -22,6 +22,44 @@ struct VarMap {
   }
 };
 
+/// Simplex options for the next solve under the remaining budget, or
+/// nullopt when the budget is already spent.
+std::optional<lp::SolveOptions> next_solve_options(
+    const LpRouteOptions& opts, harness::BudgetMeter& meter) {
+  if (!meter.ok()) return std::nullopt;
+  lp::SolveOptions so;
+  if (opts.budget.deadline) {
+    so.deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          std::max(0.0, opts.budget.deadline->count() -
+                                            meter.elapsed_ms())));
+  }
+  if (opts.budget.max_ticks > 0) {
+    const std::uint64_t remaining =
+        opts.budget.max_ticks > meter.ticks()
+            ? opts.budget.max_ticks - meter.ticks()
+            : 0;
+    if (remaining == 0) return std::nullopt;
+    so.max_iterations = static_cast<int>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(so.max_iterations), remaining));
+  }
+  return so;
+}
+
+/// Maps a non-Optimal simplex status to the failure taxonomy.
+FailureKind classify_lp_status(lp::Status s) {
+  switch (s) {
+    case lp::Status::Infeasible:
+      return FailureKind::kInfeasible;
+    case lp::Status::IterationLimit:
+    case lp::Status::DeadlineExceeded:
+      return FailureKind::kBudgetExhausted;
+    default:
+      return FailureKind::kInternal;  // Unbounded cannot legitimately occur
+  }
+}
+
 }  // namespace
 
 RouteResult lp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
@@ -29,7 +67,7 @@ RouteResult lp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
   RouteResult res;
   res.routing = Routing(cs.size());
   if (cs.max_right() > ch.width()) {
-    res.note = "connections exceed channel width";
+    res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
     return res;
   }
   const ConnId M = cs.size();
@@ -38,6 +76,7 @@ RouteResult lp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
     res.success = true;
     return res;
   }
+  harness::BudgetMeter meter(opts.budget);
 
   lp::Problem base;
   VarMap vm;
@@ -93,15 +132,25 @@ RouteResult lp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
   // Fix-and-resolve loop: `fixed` pins x_v = 1.
   std::vector<int> fixed;
   for (int pass = 0;; ++pass) {
+    const auto so = next_solve_options(opts, meter);
+    if (!so) {
+      meter.tick();  // records the violated bound for reason()
+      res.fail(FailureKind::kBudgetExhausted,
+               "budget exhausted: " + meter.reason());
+      res.stats.rounding_passes = pass;
+      return res;
+    }
     lp::Problem p = base;  // copy, then append the pins
     for (int v : fixed) {
       p.add_constraint({{v, 1.0}}, lp::Relation::GreaterEq, 1.0);
     }
-    const lp::Solution sol = lp::solve(p);
+    const lp::Solution sol = lp::solve(p, *so);
     res.stats.iterations += static_cast<std::uint64_t>(sol.iterations);
+    meter.tick(static_cast<std::uint64_t>(sol.iterations));
     if (sol.status != lp::Status::Optimal) {
-      res.note = "LP not optimal (status " +
-                 std::to_string(static_cast<int>(sol.status)) + ")";
+      res.fail(classify_lp_status(sol.status),
+               "LP not optimal (status " +
+                   std::to_string(static_cast<int>(sol.status)) + ")");
       return res;
     }
     // Judge coverage by the plain assignment count sum(x), not the
@@ -112,8 +161,12 @@ RouteResult lp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
       res.stats.lp_objective = assigned_mass;
     }
     if (assigned_mass < static_cast<double>(M) - 1e-6) {
-      res.note = "LP coverage " + std::to_string(assigned_mass) + " < M = " +
-                 std::to_string(M) + ": no routing (or heuristic dead end)";
+      // On pass 0 the relaxation optimum itself is < M, which *proves*
+      // infeasibility (the LP bounds the 0-1 optimum from above); later
+      // passes may merely be a rounding dead end.
+      res.fail(FailureKind::kInfeasible,
+               "LP coverage " + std::to_string(assigned_mass) + " < M = " +
+                   std::to_string(M) + ": no routing (or heuristic dead end)");
       res.stats.rounding_passes = pass;
       return res;
     }
@@ -143,15 +196,17 @@ RouteResult lp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
         }
       }
       if (!res.routing.is_complete()) {
-        res.note = "integral LP left a connection unassigned";
+        res.fail(FailureKind::kInternal,
+                 "integral LP left a connection unassigned");
         return res;
       }
       res.success = true;
       return res;
     }
     if (pass >= opts.max_rounding_passes) {
-      res.note = "fractional after " + std::to_string(pass) +
-                 " rounding passes";
+      res.fail(FailureKind::kInfeasible,
+               "fractional after " + std::to_string(pass) +
+                   " rounding passes");
       res.stats.rounding_passes = pass;
       return res;
     }
@@ -165,7 +220,7 @@ RouteResult lp_route_optimal(const SegmentedChannel& ch,
   RouteResult res;
   res.routing = Routing(cs.size());
   if (cs.max_right() > ch.width()) {
-    res.note = "connections exceed channel width";
+    res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
     return res;
   }
   const ConnId M = cs.size();
@@ -174,6 +229,7 @@ RouteResult lp_route_optimal(const SegmentedChannel& ch,
     res.success = true;
     return res;
   }
+  harness::BudgetMeter meter(opts.budget);
 
   lp::Problem base;
   VarMap vm;
@@ -206,8 +262,9 @@ RouteResult lp_route_optimal(const SegmentedChannel& ch,
       if (vm.at(i, t) != -1) terms.emplace_back(vm.at(i, t), 1.0);
     }
     if (terms.empty()) {
-      res.note = "connection " + std::to_string(i) + " has no finite-weight "
-                 "assignment";
+      res.fail(FailureKind::kInfeasible,
+               "connection " + std::to_string(i) +
+                   " has no finite-weight assignment");
       return res;
     }
     base.add_constraint(std::move(terms), lp::Relation::Equal, 1.0);
@@ -232,15 +289,27 @@ RouteResult lp_route_optimal(const SegmentedChannel& ch,
 
   std::vector<int> fixed;
   for (int pass = 0;; ++pass) {
+    const auto so = next_solve_options(opts, meter);
+    if (!so) {
+      meter.tick();  // records the violated bound for reason()
+      res.fail(FailureKind::kBudgetExhausted,
+               "budget exhausted: " + meter.reason());
+      res.stats.rounding_passes = pass;
+      return res;
+    }
     lp::Problem p = base;
     for (int v : fixed) {
       p.add_constraint({{v, 1.0}}, lp::Relation::GreaterEq, 1.0);
     }
-    const lp::Solution sol = lp::solve(p);
+    const lp::Solution sol = lp::solve(p, *so);
     res.stats.iterations += static_cast<std::uint64_t>(sol.iterations);
+    meter.tick(static_cast<std::uint64_t>(sol.iterations));
     if (sol.status != lp::Status::Optimal) {
-      res.note = "LP not optimal (status " +
-                 std::to_string(static_cast<int>(sol.status)) + ")";
+      // An infeasible LP here is a proof: the == rows demand a complete
+      // fractional assignment, which any true routing would satisfy.
+      res.fail(classify_lp_status(sol.status),
+               "LP not optimal (status " +
+                   std::to_string(static_cast<int>(sol.status)) + ")");
       res.stats.rounding_passes = pass;
       return res;
     }
@@ -266,7 +335,8 @@ RouteResult lp_route_optimal(const SegmentedChannel& ch,
         }
       }
       if (!res.routing.is_complete()) {
-        res.note = "integral LP left a connection unassigned";
+        res.fail(FailureKind::kInternal,
+                 "integral LP left a connection unassigned");
         return res;
       }
       double total = 0.0;
@@ -278,8 +348,9 @@ RouteResult lp_route_optimal(const SegmentedChannel& ch,
       return res;
     }
     if (pass >= opts.max_rounding_passes) {
-      res.note = "fractional after " + std::to_string(pass) +
-                 " rounding passes";
+      res.fail(FailureKind::kInfeasible,
+               "fractional after " + std::to_string(pass) +
+                   " rounding passes");
       res.stats.rounding_passes = pass;
       return res;
     }

@@ -17,6 +17,7 @@
 #include "core/channel.h"
 #include "core/connection.h"
 #include "core/weights.h"
+#include "harness/budget.h"
 
 namespace segroute::alg {
 
@@ -45,6 +46,12 @@ struct LpRouteOptions {
 
   /// Seed for the deterministic jitter.
   std::uint64_t jitter_seed = 0x5e60e7eULL;
+
+  /// Resource bounds: ticks count simplex pivots; the deadline is pushed
+  /// down into every simplex solve (checked every few pivots), so a
+  /// single huge LP cannot blow past it. Exhaustion yields
+  /// FailureKind::kBudgetExhausted.
+  harness::Budget budget;
 };
 
 /// Runs the LP heuristic. success=true only with a complete valid routing.

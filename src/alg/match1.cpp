@@ -37,7 +37,7 @@ RouteResult match1_route(const SegmentedChannel& ch, const ConnectionSet& cs) {
   RouteResult res;
   res.routing = Routing(cs.size());
   if (cs.max_right() > ch.width()) {
-    res.note = "connections exceed channel width";
+    res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
     return res;
   }
   SegIndex idx(ch);
@@ -51,8 +51,9 @@ RouteResult match1_route(const SegmentedChannel& ch, const ConnectionSet& cs) {
   }
   const auto m = match::hopcroft_karp(g);
   if (m.size != cs.size()) {
-    res.note = "maximum matching covers only " + std::to_string(m.size) +
-               " of " + std::to_string(cs.size()) + " connections";
+    res.fail(FailureKind::kInfeasible,
+             "maximum matching covers only " + std::to_string(m.size) +
+                 " of " + std::to_string(cs.size()) + " connections");
     return res;
   }
   for (ConnId i = 0; i < cs.size(); ++i) {
@@ -76,7 +77,7 @@ RouteResult match1_route_optimal(const SegmentedChannel& ch,
   }
   SegIndex idx(ch);
   if (cs.size() > idx.total) {
-    res.note = "more connections than segments";
+    res.fail(FailureKind::kInfeasible, "more connections than segments");
     return res;
   }
   std::vector<double> cost(static_cast<std::size_t>(cs.size()) *
@@ -95,7 +96,7 @@ RouteResult match1_route_optimal(const SegmentedChannel& ch,
   }
   const auto m = match::hungarian(cs.size(), idx.total, cost);
   if (!m.feasible) {
-    res.note = "no complete 1-segment routing exists";
+    res.fail(FailureKind::kInfeasible, "no complete 1-segment routing exists");
     return res;
   }
   for (ConnId i = 0; i < cs.size(); ++i) {

@@ -14,6 +14,13 @@
 
 namespace segroute::alg {
 
+/// Throw contract: unlike the batch routers (which return a RouteResult
+/// with failure == FailureKind::kInvalidInput), this stateful API throws
+/// std::invalid_argument on caller errors — an out-of-range span passed
+/// to insert()/insert_with_ripup(), or an unknown/removed connection id
+/// passed to remove()/reroute()/track_of()/connection(). The object is
+/// unchanged by a throwing call. harness::robust_route translates such
+/// throws from any cascaded router back into kInvalidInput.
 class OnlineRouter {
  public:
   enum class Policy {

@@ -9,6 +9,54 @@
 
 namespace segroute::alg {
 
+/// Structured failure taxonomy shared by every router. Replaces
+/// string-matching on RouteResult::note: callers branch on this enum,
+/// the note stays human-readable detail.
+enum class FailureKind {
+  /// Success — no failure.
+  kNone = 0,
+  /// Malformed input (e.g. connections extend past the channel width, or
+  /// a precondition such as greedy2track's <=2-segments-per-track does
+  /// not hold).
+  kInvalidInput,
+  /// No routing was found. This is a *proof* of infeasibility only when
+  /// the router is exact for the posed problem and its search completed
+  /// (dp, exhaustive, branch_bound, greedy1/match1 for K=1, greedy2track
+  /// and left_edge on their special channels); for the heuristics (lp,
+  /// anneal) it means "gave up", except where the note says the LP bound
+  /// itself proves infeasibility.
+  kInfeasible,
+  /// A Budget bound (deadline, node/iteration cap, cancellation) or a
+  /// legacy safety valve (max_total_nodes, max_nodes, max_branches)
+  /// stopped the search before an answer was established.
+  kBudgetExhausted,
+  /// A produced routing failed independent re-verification (set by
+  /// harness::robust_route when harness::RouteVerifier rejects a
+  /// candidate; routers themselves never set this).
+  kVerificationFailed,
+  /// An internal invariant broke — always a bug in this library.
+  kInternal,
+};
+
+/// Name of a FailureKind value, for notes and logs.
+inline const char* to_string(FailureKind k) {
+  switch (k) {
+    case FailureKind::kNone:
+      return "none";
+    case FailureKind::kInvalidInput:
+      return "invalid-input";
+    case FailureKind::kInfeasible:
+      return "infeasible";
+    case FailureKind::kBudgetExhausted:
+      return "budget-exhausted";
+    case FailureKind::kVerificationFailed:
+      return "verification-failed";
+    case FailureKind::kInternal:
+      return "internal";
+  }
+  return "?";
+}
+
 /// Search/solve statistics; fields are filled by the routers that have
 /// something meaningful to report and left at defaults otherwise.
 struct RouteStats {
@@ -31,15 +79,24 @@ struct RouteStats {
 
 /// Outcome of a routing attempt. `success` means a complete valid routing
 /// was produced; `routing` is then complete. On failure `routing` may hold
-/// a partial assignment (router-specific) and `note` says what failed.
+/// a partial assignment (router-specific), `failure` classifies what went
+/// wrong, and `note` carries the human-readable detail.
 struct RouteResult {
   bool success = false;
   Routing routing;
   double weight = 0.0;  // total weight for optimizing routers, else 0
+  FailureKind failure = FailureKind::kNone;  // kNone iff success
   std::string note;
   RouteStats stats;
 
   explicit operator bool() const { return success; }
+
+  /// Failure helper: classifies and annotates in one step.
+  void fail(FailureKind kind, std::string why) {
+    success = false;
+    failure = kind;
+    note = std::move(why);
+  }
 };
 
 }  // namespace segroute::alg

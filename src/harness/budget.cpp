@@ -1,0 +1,82 @@
+#include "harness/budget.h"
+
+namespace segroute::harness {
+
+const char* to_string(BudgetStop s) {
+  switch (s) {
+    case BudgetStop::kNone:
+      return "none";
+    case BudgetStop::kDeadline:
+      return "deadline";
+    case BudgetStop::kTickLimit:
+      return "tick-limit";
+    case BudgetStop::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+BudgetMeter::BudgetMeter(const Budget& budget, std::uint32_t check_interval)
+    : budget_(budget),
+      start_(std::chrono::steady_clock::now()),
+      check_interval_(check_interval == 0 ? 1 : check_interval),
+      until_check_(1) {  // consult the clock on the very first tick
+  if (budget_.deadline) deadline_at_ = start_ + *budget_.deadline;
+}
+
+bool BudgetMeter::check_clock() {
+  if (budget_.cancel && budget_.cancel->load(std::memory_order_relaxed)) {
+    stop_ = BudgetStop::kCancelled;
+    return false;
+  }
+  if (deadline_at_ && std::chrono::steady_clock::now() >= *deadline_at_) {
+    stop_ = BudgetStop::kDeadline;
+    return false;
+  }
+  return true;
+}
+
+bool BudgetMeter::tick(std::uint64_t n) {
+  if (stop_ != BudgetStop::kNone) return false;
+  ticks_ += n;
+  if (budget_.max_ticks != 0 && ticks_ > budget_.max_ticks) {
+    stop_ = BudgetStop::kTickLimit;
+    return false;
+  }
+  if (until_check_ > n) {
+    until_check_ -= static_cast<std::uint32_t>(n);
+    return true;
+  }
+  until_check_ = check_interval_;
+  return check_clock();
+}
+
+bool BudgetMeter::ok() {
+  if (stop_ != BudgetStop::kNone) return false;
+  return check_clock();
+}
+
+double BudgetMeter::elapsed_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+std::string BudgetMeter::reason() const {
+  switch (stop_) {
+    case BudgetStop::kNone:
+      return {};
+    case BudgetStop::kDeadline:
+      return "deadline of " +
+             std::to_string(budget_.deadline ? budget_.deadline->count() : 0) +
+             " ms exceeded";
+    case BudgetStop::kTickLimit:
+      return "work limit of " + std::to_string(budget_.max_ticks) +
+             " units exceeded";
+    case BudgetStop::kCancelled:
+      return "cancelled";
+  }
+  return {};
+}
+
+}  // namespace segroute::harness

@@ -1,0 +1,113 @@
+// Budget: bounded-resource execution for the expensive routers.
+//
+// The paper proves segmented channel routing strongly NP-complete
+// (Section III), so every exact router here can blow up without warning.
+// A Budget makes that explosion a *structured, bounded* outcome instead
+// of a hang: it combines a wall-clock deadline, a cap on router-specific
+// work units ("ticks": DP nodes, search branches, annealing moves,
+// simplex pivots), and a cooperative cancellation flag.
+//
+// Routers accept a Budget in their options struct and drive a
+// BudgetMeter inside their hot loop. tick() is designed to be cheap
+// enough for per-node use: the tick cap and the cancellation flag are
+// checked every call, the clock only every `check_interval` calls.
+// Exhaustion is sticky; the router reports FailureKind::kBudgetExhausted
+// (see alg/result.h) with the meter's reason.
+//
+// This header is dependency-free (chrono + atomic only) so alg/ options
+// structs can include it without a cycle back into harness/.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace segroute::harness {
+
+/// Why a BudgetMeter stopped (kNone = still within budget).
+enum class BudgetStop { kNone, kDeadline, kTickLimit, kCancelled };
+
+/// Name of a BudgetStop value, for notes and logs.
+const char* to_string(BudgetStop s);
+
+/// Declarative resource bounds for one routing call. Default: unlimited.
+struct Budget {
+  /// Wall-clock allowance, measured from BudgetMeter construction
+  /// (i.e. from router entry). nullopt = no deadline.
+  std::optional<std::chrono::milliseconds> deadline;
+
+  /// Cap on router-specific work units (DP nodes, branches, moves,
+  /// pivots). 0 = unlimited.
+  std::uint64_t max_ticks = 0;
+
+  /// Cooperative cancellation: when non-null and set to true by another
+  /// thread, the router stops at its next budget check. The pointee must
+  /// outlive the routing call.
+  const std::atomic<bool>* cancel = nullptr;
+
+  [[nodiscard]] bool unlimited() const {
+    return !deadline && max_ticks == 0 && cancel == nullptr;
+  }
+
+  /// Convenience constructors.
+  static Budget with_deadline(std::chrono::milliseconds d) {
+    Budget b;
+    b.deadline = d;
+    return b;
+  }
+  static Budget with_ticks(std::uint64_t n) {
+    Budget b;
+    b.max_ticks = n;
+    return b;
+  }
+  static Budget with_cancel(const std::atomic<bool>& flag) {
+    Budget b;
+    b.cancel = &flag;
+    return b;
+  }
+};
+
+/// Per-run enforcement of a Budget. Construct at router entry; call
+/// tick() once per unit of work. The first violated bound wins and the
+/// meter stays exhausted from then on.
+class BudgetMeter {
+ public:
+  /// `check_interval`: the clock (and cancel flag, between interval
+  /// boundaries) is consulted every this-many ticks. 64 keeps deadline
+  /// overshoot in the tens of microseconds for typical node costs while
+  /// making the common-path tick a couple of integer ops.
+  explicit BudgetMeter(const Budget& budget, std::uint32_t check_interval = 64);
+
+  /// Counts `n` units of work; returns true while the budget holds.
+  /// Sticky: once false, always false.
+  bool tick(std::uint64_t n = 1);
+
+  /// Re-checks deadline and cancellation without consuming ticks.
+  bool ok();
+
+  [[nodiscard]] bool exhausted() const { return stop_ != BudgetStop::kNone; }
+  [[nodiscard]] BudgetStop stop() const { return stop_; }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+
+  /// Milliseconds since construction.
+  [[nodiscard]] double elapsed_ms() const;
+
+  /// Human-readable reason, e.g. "deadline of 50 ms exceeded"; empty
+  /// while the budget holds.
+  [[nodiscard]] std::string reason() const;
+
+ private:
+  bool check_clock();
+
+  Budget budget_;
+  std::chrono::steady_clock::time_point start_;
+  std::optional<std::chrono::steady_clock::time_point> deadline_at_;
+  std::uint64_t ticks_ = 0;
+  std::uint32_t check_interval_;
+  std::uint32_t until_check_;
+  BudgetStop stop_ = BudgetStop::kNone;
+};
+
+}  // namespace segroute::harness

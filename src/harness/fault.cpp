@@ -1,0 +1,68 @@
+#include "harness/fault.h"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <utility>
+
+namespace segroute::harness {
+
+std::vector<Fault> FaultPlan::sample(const SegmentedChannel& ch) const {
+  std::vector<Fault> faults;
+  if (switch_fail_prob <= 0.0 && segment_fail_prob <= 0.0) return faults;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (TrackId t = 0; t < ch.num_tracks(); ++t) {
+    const Track& tr = ch.track(t);
+    for (Column c : tr.switch_positions()) {
+      if (u(rng) < switch_fail_prob) {
+        faults.push_back({Fault::Kind::kSwitchStuckClosed, t, c});
+      }
+    }
+    for (SegId s = 0; s < tr.num_segments(); ++s) {
+      if (u(rng) < segment_fail_prob) {
+        faults.push_back({Fault::Kind::kSegmentDead, t, tr.segment(s).left});
+      }
+    }
+  }
+  return faults;
+}
+
+std::optional<FaultyChannel> apply(const SegmentedChannel& ch,
+                                   const std::vector<Fault>& faults) {
+  const TrackId T = ch.num_tracks();
+  std::vector<bool> dead(static_cast<std::size_t>(T), false);
+  std::vector<std::set<Column>> fused(static_cast<std::size_t>(T));
+  for (const Fault& f : faults) {
+    if (f.track < 0 || f.track >= T) continue;
+    if (f.kind == Fault::Kind::kSegmentDead) {
+      dead[static_cast<std::size_t>(f.track)] = true;
+    } else {
+      fused[static_cast<std::size_t>(f.track)].insert(f.column);
+    }
+  }
+
+  FaultyChannel out{ch, {}, 0, 0};
+  std::vector<Track> tracks;
+  for (TrackId t = 0; t < T; ++t) {
+    if (dead[static_cast<std::size_t>(t)]) {
+      ++out.tracks_lost;
+      continue;
+    }
+    std::vector<Column> switches;
+    for (Column c : ch.track(t).switch_positions()) {
+      if (fused[static_cast<std::size_t>(t)].count(c)) {
+        ++out.switches_fused;
+      } else {
+        switches.push_back(c);
+      }
+    }
+    tracks.emplace_back(ch.width(), std::move(switches));
+    out.kept_tracks.push_back(t);
+  }
+  if (tracks.empty()) return std::nullopt;
+  out.channel = SegmentedChannel(std::move(tracks));
+  return out;
+}
+
+}  // namespace segroute::harness

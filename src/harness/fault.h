@@ -1,0 +1,71 @@
+// Fault injection: hardware-defect models for segmented channels.
+//
+// FPGA routing fabrics ship with manufacturing defects, and a router that
+// can only cope with the pristine channel is brittle. This module samples
+// defect sets and materialises the *surviving* channel so any router can
+// be re-run against it unchanged:
+//
+//  - a switch stuck CLOSED permanently fuses its two neighbouring
+//    segments: the track stays usable but loses granularity (the merged
+//    segment is occupied as a whole);
+//  - a dead segment (open defect, e.g. a broken wire) is modelled
+//    conservatively by withdrawing the whole track — the remaining
+//    segments of a broken track have asymmetric reach that the channel
+//    model (contiguous partition of 1..N) cannot express, and a router
+//    that silently used them could cross the break.
+//
+// apply() returns the degraded channel plus the index mapping back to the
+// original tracks, so routings found on the faulty channel can be
+// reported in original-track coordinates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/types.h"
+
+namespace segroute::harness {
+
+/// One injected hardware fault.
+struct Fault {
+  enum class Kind {
+    kSwitchStuckClosed,  // switch after `column` on `track` fused shut
+    kSegmentDead,        // segment containing `column` on `track` is dead
+  };
+  Kind kind;
+  TrackId track = 0;
+  Column column = 0;
+};
+
+/// The channel that survives a fault set.
+struct FaultyChannel {
+  SegmentedChannel channel;
+
+  /// kept_tracks[i] = original track id of the degraded channel's track i.
+  std::vector<TrackId> kept_tracks;
+
+  int switches_fused = 0;  // switches removed by stuck-closed faults
+  int tracks_lost = 0;     // tracks withdrawn by dead-segment faults
+};
+
+/// A reproducible fault model: each switch fails closed independently
+/// with `switch_fail_prob`, each segment dies independently with
+/// `segment_fail_prob`.
+struct FaultPlan {
+  double switch_fail_prob = 0.0;
+  double segment_fail_prob = 0.0;
+  std::uint64_t seed = 1;
+
+  /// Samples a fault set for `ch` from this plan (deterministic in seed).
+  [[nodiscard]] std::vector<Fault> sample(const SegmentedChannel& ch) const;
+};
+
+/// Materialises the channel surviving `faults`. Returns std::nullopt when
+/// no track survives (total outage). Stuck-closed faults on a withdrawn
+/// track are moot and simply dropped.
+[[nodiscard]] std::optional<FaultyChannel> apply(
+    const SegmentedChannel& ch, const std::vector<Fault>& faults);
+
+}  // namespace segroute::harness

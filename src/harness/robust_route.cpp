@@ -1,0 +1,340 @@
+#include "harness/robust_route.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "alg/anneal_route.h"
+#include "alg/branch_bound.h"
+#include "alg/dp.h"
+#include "alg/greedy1.h"
+#include "alg/greedy2track.h"
+#include "alg/left_edge.h"
+#include "alg/lp_route.h"
+#include "alg/match1.h"
+
+namespace segroute::harness {
+
+using alg::FailureKind;
+using alg::RouteResult;
+using Clock = std::chrono::steady_clock;
+
+const char* to_string(Stage s) {
+  switch (s) {
+    case Stage::kDp:
+      return "dp";
+    case Stage::kGreedy1:
+      return "greedy1";
+    case Stage::kMatch1:
+      return "match1";
+    case Stage::kGreedy2:
+      return "greedy2track";
+    case Stage::kLeftEdge:
+      return "left-edge";
+    case Stage::kLp:
+      return "lp";
+    case Stage::kAnneal:
+      return "anneal";
+    case Stage::kBranchBound:
+      return "branch-bound";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<StageSpec> default_cascade() {
+  return {{Stage::kDp, {}},
+          {Stage::kGreedy1, {}},
+          {Stage::kMatch1, {}},
+          {Stage::kLp, {}},
+          {Stage::kAnneal, {}}};
+}
+
+RouteResult run_stage(Stage s, const SegmentedChannel& ch,
+                      const ConnectionSet& cs, const RobustOptions& o,
+                      const Budget& b) {
+  switch (s) {
+    case Stage::kDp: {
+      alg::DpOptions dp;
+      dp.max_segments = o.max_segments;
+      dp.weight = o.weight;
+      dp.budget = b;
+      return alg::dp_route(ch, cs, dp);
+    }
+    case Stage::kGreedy1:
+      return alg::greedy1_route(ch, cs);
+    case Stage::kMatch1:
+      return o.weight ? alg::match1_route_optimal(ch, cs, *o.weight)
+                      : alg::match1_route(ch, cs);
+    case Stage::kGreedy2:
+      return alg::greedy2track_route(ch, cs);
+    case Stage::kLeftEdge:
+      return alg::left_edge_route(ch, cs, o.max_segments);
+    case Stage::kLp: {
+      alg::LpRouteOptions lp;
+      lp.max_segments = o.max_segments;
+      lp.budget = b;
+      return o.weight ? alg::lp_route_optimal(ch, cs, *o.weight, lp)
+                      : alg::lp_route(ch, cs, lp);
+    }
+    case Stage::kAnneal: {
+      alg::AnnealRouteOptions an;
+      an.max_segments = o.max_segments;
+      an.budget = b;
+      return alg::anneal_route(ch, cs, an);
+    }
+    case Stage::kBranchBound: {
+      RouteResult res;
+      if (!o.weight) {
+        res.fail(FailureKind::kInvalidInput,
+                 "branch-and-bound stage requires a weight function");
+        return res;
+      }
+      alg::BranchBoundOptions bb;
+      bb.max_segments = o.max_segments;
+      bb.budget = b;
+      return alg::branch_bound_route(ch, cs, *o.weight, bb);
+    }
+  }
+  RouteResult res;
+  res.fail(FailureKind::kInternal, "unknown stage");
+  return res;
+}
+
+/// Does this stage set RouteResult::weight itself in optimizing mode?
+bool stage_reports_weight(Stage s) {
+  switch (s) {
+    case Stage::kDp:
+    case Stage::kMatch1:
+    case Stage::kLp:
+    case Stage::kBranchBound:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// A kInfeasible failure from this stage is a *proof* that no routing of
+/// the posed problem exists (see the FailureKind doc). 1-segment routers
+/// prove it only when K = 1 was actually asked for; the feasibility
+/// specialists prove it for any K because infeasibility of the
+/// unconstrained problem implies infeasibility of every restriction.
+bool proves_infeasible(Stage s, const RobustOptions& o, const RouteResult& r) {
+  if (r.failure != FailureKind::kInfeasible) return false;
+  switch (s) {
+    case Stage::kDp:
+      return true;
+    case Stage::kGreedy1:
+    case Stage::kMatch1:
+      return o.max_segments == 1;
+    case Stage::kGreedy2:   // exact for Problem 1; ran => precondition held
+    case Stage::kLeftEdge:  // exact for Problems 1/2 on identical tracks
+      return true;
+    case Stage::kLp:      // "gave up" (its pass-0 bound is noted, not typed)
+    case Stage::kAnneal:  // never proves anything
+      return false;
+    case Stage::kBranchBound:
+      return true;  // aborts report kBudgetExhausted, never kInfeasible
+  }
+  return false;
+}
+
+/// A verified success from this stage is already optimal for the posed
+/// optimizing problem, so later stages cannot improve on it.
+bool exact_optimal(Stage s, const RobustOptions& o, const RouteResult& r) {
+  switch (s) {
+    case Stage::kDp:
+      return true;
+    case Stage::kMatch1:
+      return o.max_segments == 1;
+    case Stage::kBranchBound:
+      return r.note.empty();  // non-empty note = budget hit, best-effort
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
+                         const RobustOptions& opts) {
+  const auto t0 = Clock::now();
+  auto ms_since = [](Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+  };
+
+  RouteReport report;
+  report.routing = Routing(cs.size());
+
+  // Fault injection: route on the surviving channel.
+  const SegmentedChannel* substrate = &ch;
+  std::optional<FaultyChannel> degraded;
+  if (opts.faults) {
+    report.faults_applied = true;
+    degraded = harness::apply(ch, opts.faults->sample(ch));
+    if (!degraded) {
+      report.tracks_lost = ch.num_tracks();
+      report.failure = FailureKind::kInfeasible;
+      report.note = "fault injection removed every track (total outage)";
+      report.elapsed_ms = ms_since(t0);
+      return report;
+    }
+    report.switches_fused = degraded->switches_fused;
+    report.tracks_lost = degraded->tracks_lost;
+    substrate = &degraded->channel;
+  }
+
+  const std::vector<StageSpec> cascade =
+      opts.stages.empty() ? default_cascade() : opts.stages;
+  const RouteVerifier verifier(*substrate, cs);
+
+  // Best verified candidate so far (optimizing mode accumulates; in
+  // feasibility mode the first one ends the cascade).
+  bool have_candidate = false;
+  Routing best_routing;
+  double best_weight = std::numeric_limits<double>::infinity();
+  Stage best_stage = Stage::kDp;
+
+  std::optional<Clock::time_point> overall_deadline;
+  if (opts.deadline) overall_deadline = t0 + *opts.deadline;
+
+  bool proven_infeasible = false;
+  for (std::size_t k = 0; k < cascade.size(); ++k) {
+    const StageSpec& spec = cascade[k];
+    StageReport sr;
+    sr.stage = spec.stage;
+
+    // This stage's slice: remaining deadline split over remaining stages
+    // (later stages inherit unspent time), meeting any per-stage budget.
+    Budget b = spec.budget;
+    if (!b.cancel) b.cancel = opts.cancel;
+    if (overall_deadline) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          *overall_deadline - Clock::now());
+      if (remaining.count() <= 0) {
+        sr.failure = FailureKind::kBudgetExhausted;
+        sr.note = "overall deadline exhausted before stage started";
+        report.stages.push_back(std::move(sr));
+        continue;
+      }
+      const auto slice = std::max<std::chrono::milliseconds::rep>(
+          1, remaining.count() / static_cast<long long>(cascade.size() - k));
+      const std::chrono::milliseconds slice_ms(slice);
+      b.deadline = b.deadline ? std::min(*b.deadline, slice_ms) : slice_ms;
+    }
+
+    sr.attempted = true;
+    const auto stage_t0 = Clock::now();
+    RouteResult r;
+    try {
+      r = run_stage(spec.stage, *substrate, cs, opts, b);
+    } catch (const std::invalid_argument& e) {
+      r.fail(FailureKind::kInvalidInput,
+             std::string("router rejected input: ") + e.what());
+    }
+    sr.elapsed_ms = ms_since(stage_t0);
+    sr.success = r.success;
+    sr.failure = r.failure;
+    sr.note = r.note;
+
+    if (r.success) {
+      VerifyOptions vo;
+      vo.max_segments = opts.max_segments;
+      if (opts.weight && stage_reports_weight(spec.stage)) {
+        vo.weight = opts.weight;  // expectation = r.weight (checked)
+      }
+      const VerifyResult v = verifier.check(r, vo);
+      if (!v) {
+        sr.success = false;
+        sr.failure = FailureKind::kVerificationFailed;
+        sr.note = std::string(to_string(v.error)) + ": " + v.detail;
+      } else {
+        sr.verified = true;
+        double w = r.weight;
+        if (opts.weight && !stage_reports_weight(spec.stage)) {
+          w = total_weight(*substrate, cs, r.routing, *opts.weight);
+        }
+        sr.weight = w;
+        if (!opts.weight) {
+          // Feasibility mode: first verified routing wins.
+          best_routing = r.routing;
+          best_stage = spec.stage;
+          have_candidate = true;
+          report.stages.push_back(std::move(sr));
+          break;
+        }
+        if (!have_candidate || w < best_weight) {
+          best_routing = r.routing;
+          best_weight = w;
+          best_stage = spec.stage;
+          have_candidate = true;
+        }
+        const bool optimal = exact_optimal(spec.stage, opts, r);
+        report.stages.push_back(std::move(sr));
+        if (optimal) break;
+        continue;
+      }
+    } else if (proves_infeasible(spec.stage, opts, r)) {
+      proven_infeasible = true;
+      report.stages.push_back(std::move(sr));
+      break;
+    }
+    report.stages.push_back(std::move(sr));
+  }
+
+  if (have_candidate) {
+    report.success = true;
+    report.winner = best_stage;
+    if (opts.weight) report.weight = best_weight;
+    report.routing = best_routing;
+    if (degraded) {
+      // Map back to original track ids.
+      Routing mapped(cs.size());
+      for (ConnId i = 0; i < cs.size(); ++i) {
+        const TrackId t = best_routing.track_of(i);
+        if (t != kNoTrack) mapped.assign(i, degraded->kept_tracks[t]);
+      }
+      report.routing = mapped;
+    }
+    report.note = std::string("routed by stage ") + to_string(best_stage);
+  } else if (proven_infeasible) {
+    report.failure = FailureKind::kInfeasible;
+    report.note = "proven infeasible by stage " +
+                  std::string(to_string(report.stages.back().stage)) + ": " +
+                  report.stages.back().note;
+  } else {
+    // Aggregate: all-invalid-input > budget exhaustion > verification
+    // failure > infeasible-looking give-ups.
+    bool any = false, all_invalid = true, any_budget = false,
+         any_verify = false;
+    for (const StageReport& sr : report.stages) {
+      any = true;
+      if (sr.failure != FailureKind::kInvalidInput) all_invalid = false;
+      if (sr.failure == FailureKind::kBudgetExhausted) any_budget = true;
+      if (sr.failure == FailureKind::kVerificationFailed) any_verify = true;
+    }
+    if (any && all_invalid) {
+      report.failure = FailureKind::kInvalidInput;
+      report.note = "every stage rejected the input";
+    } else if (any_budget) {
+      report.failure = FailureKind::kBudgetExhausted;
+      report.note = "no routing found within budget";
+    } else if (any_verify) {
+      report.failure = FailureKind::kVerificationFailed;
+      report.note = "a routing was produced but failed verification";
+    } else {
+      report.failure = FailureKind::kInfeasible;
+      report.note = any ? "no stage found a routing (not a proof unless an "
+                          "exact stage ran to completion)"
+                        : "empty cascade";
+    }
+  }
+  report.elapsed_ms = ms_since(t0);
+  return report;
+}
+
+}  // namespace segroute::harness

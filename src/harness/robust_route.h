@@ -1,0 +1,135 @@
+// robust_route: a hardened portfolio router with graceful degradation.
+//
+// A single router is a single point of failure: the exact DP can blow its
+// budget on hostile segmentations, the LP can stall fractional, a bug in
+// any of them can emit a corrupt routing. robust_route runs a configurable
+// cascade of routers (default: exact DP, then the greedy/matching
+// 1-segment routers, then the LP heuristic, then annealing), gives each
+// stage a slice of the overall deadline, and *independently verifies*
+// every candidate with RouteVerifier before accepting it. A verified
+// answer from a later, weaker stage beats no answer at all — that is the
+// graceful-degradation contract.
+//
+// Semantics:
+//  - feasibility mode (no weight): the first verified routing wins and the
+//    cascade stops;
+//  - optimizing mode (weight set): an exact optimal stage (DP; matching
+//    when K = 1) that succeeds ends the cascade; otherwise every stage
+//    runs and the best verified weight wins;
+//  - a stage that is exact for the posed problem and reports kInfeasible
+//    (with its search complete) *proves* infeasibility and ends the
+//    cascade;
+//  - a stage that throws std::invalid_argument is recorded as
+//    kInvalidInput and the cascade continues (the throw contracts of
+//    greedy2track_route / left_edge_route are translated, not propagated);
+//  - a stage whose routing fails verification is recorded as
+//    kVerificationFailed and the cascade continues — a corrupt answer is
+//    never returned.
+//
+// Budgets: RobustOptions::deadline bounds the whole call. Each stage gets
+// remaining / stages-left of it (a stage finishing early donates its
+// slack to later stages), intersected with any per-stage Budget in its
+// StageSpec. Overall failure aggregates the per-stage failures: proven
+// infeasibility dominates, else all-invalid-input, else budget
+// exhaustion, else verification failure, else infeasible.
+//
+// Fault injection: when RobustOptions::faults is set, the plan is sampled
+// and applied first and the cascade routes on the surviving channel; the
+// returned routing is mapped back to original track ids and the report
+// records what was lost. Verification runs against the degraded channel
+// (the substrate that was actually routed).
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alg/result.h"
+#include "core/channel.h"
+#include "core/connection.h"
+#include "core/weights.h"
+#include "harness/budget.h"
+#include "harness/fault.h"
+#include "harness/verify.h"
+
+namespace segroute::harness {
+
+/// The routers the portfolio can cascade through.
+enum class Stage {
+  kDp,           // alg::dp_route — exact, all three problems
+  kGreedy1,      // alg::greedy1_route — exact iff K = 1, feasibility only
+  kMatch1,       // alg::match1_route(_optimal) — exact iff K = 1
+  kGreedy2,      // alg::greedy2track_route — exact on <=2-segment tracks
+  kLeftEdge,     // alg::left_edge_route — exact on identical tracks
+  kLp,           // alg::lp_route(_optimal) — heuristic
+  kAnneal,       // alg::anneal_route — heuristic
+  kBranchBound,  // alg::branch_bound_route — exact, needs a weight
+};
+
+const char* to_string(Stage s);
+
+/// One cascade entry: which router, plus an optional per-stage budget
+/// (intersected with the stage's slice of the overall deadline).
+struct StageSpec {
+  Stage stage;
+  Budget budget;
+};
+
+struct RobustOptions {
+  /// K-segment limit (0 = unlimited). Verification enforces it too.
+  int max_segments = 0;
+
+  /// Optimizing mode: minimize this total weight (Problem 3).
+  std::optional<WeightFn> weight;
+
+  /// Overall wall-clock deadline for the whole cascade.
+  std::optional<std::chrono::milliseconds> deadline;
+
+  /// Cooperative cancellation, checked by every budgeted stage.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// The cascade; empty = the default {kDp, kGreedy1, kMatch1, kLp,
+  /// kAnneal}.
+  std::vector<StageSpec> stages;
+
+  /// When set, sample and apply hardware faults before routing.
+  std::optional<FaultPlan> faults;
+};
+
+/// What happened in one cascade stage.
+struct StageReport {
+  Stage stage;
+  bool attempted = false;  // false: skipped (deadline gone before start)
+  bool success = false;    // the router reported success
+  bool verified = false;   // ... and RouteVerifier accepted its routing
+  alg::FailureKind failure = alg::FailureKind::kNone;
+  std::string note;        // router note / verifier detail / skip reason
+  double weight = 0.0;     // candidate total weight (optimizing mode)
+  double elapsed_ms = 0.0;
+};
+
+/// Outcome of the whole cascade.
+struct RouteReport {
+  bool success = false;
+  Routing routing;         // original-track coordinates (after faults)
+  double weight = 0.0;     // winner's total weight (optimizing mode)
+  Stage winner = Stage::kDp;  // valid only when success
+  alg::FailureKind failure = alg::FailureKind::kNone;
+  std::string note;
+  std::vector<StageReport> stages;  // one entry per cascade stage, in order
+  double elapsed_ms = 0.0;
+
+  // Fault-injection summary (faults_applied == opts.faults was set).
+  bool faults_applied = false;
+  int switches_fused = 0;
+  int tracks_lost = 0;
+
+  explicit operator bool() const { return success; }
+};
+
+/// Runs the hardened portfolio cascade. See file comment for semantics.
+RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
+                         const RobustOptions& opts = {});
+
+}  // namespace segroute::harness

@@ -93,6 +93,10 @@ Status iterate(Tableau& t, const SolveOptions& opts, int& iters,
   int local_iter = 0;
   while (true) {
     if (iters >= opts.max_iterations) return Status::IterationLimit;
+    if (opts.deadline && (local_iter & 15) == 0 &&
+        std::chrono::steady_clock::now() >= *opts.deadline) {
+      return Status::DeadlineExceeded;
+    }
     // Entering column: objective-row entry < -eps.
     int enter = -1;
     if (local_iter < bland_after) {
@@ -210,7 +214,7 @@ Solution solve(const Problem& p, const SolveOptions& opts) {
       t.at(m, pl.artificial) = 0.0;
     }
     const Status s1 = iterate(t, opts, iters, n_total);
-    if (s1 == Status::IterationLimit) {
+    if (s1 == Status::IterationLimit || s1 == Status::DeadlineExceeded) {
       sol.status = s1;
       sol.iterations = iters;
       return sol;

@@ -5,7 +5,9 @@
 // rows) — exactly the scale of the paper's simulations (M=60, T=25).
 #pragma once
 
+#include <chrono>
 #include <limits>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -13,7 +15,13 @@ namespace segroute::lp {
 
 enum class Relation { LessEq, GreaterEq, Equal };
 
-enum class Status { Optimal, Infeasible, Unbounded, IterationLimit };
+enum class Status {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  IterationLimit,
+  DeadlineExceeded,
+};
 
 /// A linear program over variables x_0..x_{n-1} with implicit bounds
 /// x_j >= 0. Upper bounds are expressed as ordinary rows. The objective
@@ -63,6 +71,10 @@ struct Solution {
 struct SolveOptions {
   int max_iterations = 200000;
   double tolerance = 1e-9;
+  /// Wall-clock cutoff (checked every few pivots); nullopt = none. Lets
+  /// the routing harness bound a single simplex solve instead of only
+  /// whole fix-and-resolve passes.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /// Solves `p` (maximization) with two-phase primal simplex. Dantzig pricing

@@ -33,6 +33,8 @@ struct Message {
 };
 
 /// Traffic patterns from the interconnection-network literature.
+/// Throw contract: all throw std::invalid_argument on nonsensical
+/// parameters (fewer than 2 PEs, negative message count).
 std::vector<Message> uniform_traffic(int pes, int count, std::mt19937_64& rng);
 std::vector<Message> neighbor_traffic(int pes, int count, std::mt19937_64& rng);
 std::vector<Message> bit_reversal_traffic(int pes);
@@ -43,6 +45,8 @@ SegmentedChannel local_channel(int tracks, int pes);            // unit segments
 SegmentedChannel bus_channel(int tracks, int pes);              // unsegmented
 /// Express organization: half the tracks carry unit ("local") segments,
 /// the other half express segments of length `express_len`, staggered.
+/// Throws std::invalid_argument when tracks < 2, pes < 2, or
+/// express_len < 1.
 SegmentedChannel express_channel(int tracks, int pes, Column express_len);
 
 /// Outcome of offering a batch of messages to the network.
@@ -57,6 +61,8 @@ struct NetworkReport {
 /// Greedy circuit switching: messages are sorted by left end and each is
 /// assigned (1-segment preferred, then any feasible track via first fit);
 /// undeliverable messages are dropped and counted.
+/// Throws std::invalid_argument if a message references a PE outside the
+/// channel's columns.
 NetworkReport offer_traffic(const SegmentedChannel& ch,
                             const std::vector<Message>& msgs,
                             const fpga::DelayParams& params = {});

@@ -8,8 +8,8 @@
 //   auto ch = SegmentedChannel::identical(4, 12, {4, 8});
 //   ConnectionSet cs;
 //   cs.add(2, 7, "net0");
-//   auto result = alg::dp_route_unlimited(ch, cs);
-//   if (result) std::cout << io::render(ch, cs, result.routing);
+//   auto report = harness::robust_route(ch, cs);
+//   if (report) std::cout << io::render(ch, cs, report.routing);
 #pragma once
 
 #include "alg/anneal_route.h"
@@ -40,6 +40,10 @@
 #include "fpga/netlist.h"
 #include "fpga/place.h"
 #include "gen/fixtures.h"
+#include "harness/budget.h"
+#include "harness/fault.h"
+#include "harness/robust_route.h"
+#include "harness/verify.h"
 #include "gen/segmentation.h"
 #include "gen/suite.h"
 #include "gen/workload.h"

@@ -105,7 +105,9 @@ TEST(AnnealRoute, DeterministicForAFixedSeed) {
   const auto a = anneal_route(ch, cs, o);
   const auto b = anneal_route(ch, cs, o);
   EXPECT_EQ(a.success, b.success);
-  if (a.success) EXPECT_EQ(a.routing, b.routing);
+  if (a.success) {
+    EXPECT_EQ(a.routing, b.routing);
+  }
 }
 
 }  // namespace

@@ -114,6 +114,7 @@ TEST(BranchBound, NodeLimitReportsBestEffort) {
   o.max_nodes = 3;  // absurdly small
   const auto bb = branch_bound_route(ch, cs, weights::occupied_length(), o);
   EXPECT_FALSE(bb.success);
+  EXPECT_EQ(bb.failure, FailureKind::kBudgetExhausted);
   EXPECT_NE(bb.note.find("node limit"), std::string::npos);
 }
 

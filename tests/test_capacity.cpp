@@ -49,7 +49,9 @@ TEST(Capacity, MinTracksLinearAndBinarySearchAgree) {
     const auto lin = min_tracks(cs, make);
     const auto bin = min_tracks(cs, make, {}, /*assume_monotone=*/true);
     ASSERT_EQ(lin.has_value(), bin.has_value()) << "iter " << iter;
-    if (lin) EXPECT_EQ(*lin, *bin) << "iter " << iter;
+    if (lin) {
+      EXPECT_EQ(*lin, *bin) << "iter " << iter;
+    }
   }
 }
 

@@ -98,14 +98,14 @@ TEST(ConnectionSet, ExtendedDensityRequiresIdenticalTracks) {
   const auto ch = SegmentedChannel({Track(9, {3}), Track(9, {4})});
   ConnectionSet cs;
   cs.add(1, 2);
-  EXPECT_THROW(cs.extended_density(ch), std::invalid_argument);
+  EXPECT_THROW((void)cs.extended_density(ch), std::invalid_argument);
 }
 
 TEST(ConnectionSet, ExtendedDensityRejectsOversizedConnections) {
   const auto ch = SegmentedChannel::identical(2, 5, {});
   ConnectionSet cs;
   cs.add(1, 9);
-  EXPECT_THROW(cs.extended_density(ch), std::invalid_argument);
+  EXPECT_THROW((void)cs.extended_density(ch), std::invalid_argument);
 }
 
 }  // namespace

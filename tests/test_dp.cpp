@@ -216,6 +216,7 @@ TEST(Dp, NodeLimitAbortsCleanly) {
   o.max_total_nodes = 4;  // absurdly small
   const auto r = dp_route(ch, cs, o);
   EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.failure, FailureKind::kBudgetExhausted);
   EXPECT_NE(r.note.find("node limit"), std::string::npos);
 }
 

@@ -152,8 +152,12 @@ TEST(GeneralizedDp, OverlapVariantIsBetweenStandardAndUnconstrained) {
     const bool std_ok = dp_route_unlimited(ch, cs).success;
     const bool ov_ok = generalized_dp_route(ch, cs, overlap).success;
     const bool gen_ok = generalized_dp_route(ch, cs).success;
-    if (std_ok) EXPECT_TRUE(ov_ok) << "iter " << iter;
-    if (ov_ok) EXPECT_TRUE(gen_ok) << "iter " << iter;
+    if (std_ok) {
+      EXPECT_TRUE(ov_ok) << "iter " << iter;
+    }
+    if (ov_ok) {
+      EXPECT_TRUE(gen_ok) << "iter " << iter;
+    }
   }
 }
 

@@ -49,7 +49,9 @@ TEST(HopcroftKarp, MatchArraysAreConsistent) {
   EXPECT_EQ(m.size, 3);
   for (int l = 0; l < 3; ++l) {
     const int r = m.match_left[static_cast<std::size_t>(l)];
-    if (r != -1) EXPECT_EQ(m.match_right[static_cast<std::size_t>(r)], l);
+    if (r != -1) {
+      EXPECT_EQ(m.match_right[static_cast<std::size_t>(r)], l);
+    }
   }
 }
 

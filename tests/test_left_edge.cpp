@@ -92,7 +92,9 @@ TEST(LeftEdgeIdentical, ExtendedDensityIsAValidUpperBound) {
     const auto ch = SegmentedChannel::identical(bound, width, {6, 12, 18});
     const auto r = left_edge_route(ch, cs);
     EXPECT_TRUE(r.success) << "iter " << iter << ": " << r.note;
-    if (r.success) EXPECT_TRUE(validate(ch, cs, r.routing));
+    if (r.success) {
+      EXPECT_TRUE(validate(ch, cs, r.routing));
+    }
   }
 }
 

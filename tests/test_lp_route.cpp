@@ -108,7 +108,9 @@ TEST(LpRoute, RoundingPassesAreBounded) {
   EXPECT_EQ(r.stats.rounding_passes, 0);
   // With rounding disabled, success requires the relaxation itself to be
   // integral.
-  if (r.success) EXPECT_TRUE(r.stats.lp_integral);
+  if (r.success) {
+    EXPECT_TRUE(r.stats.lp_integral);
+  }
 }
 
 }  // namespace

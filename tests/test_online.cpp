@@ -59,7 +59,7 @@ TEST(OnlineRouter, RemoveFreesCapacity) {
   EXPECT_FALSE(r.is_placed(*a));
   EXPECT_TRUE(r.insert(3, 3));
   EXPECT_THROW(r.remove(*a), std::invalid_argument);  // already removed
-  EXPECT_THROW(r.track_of(*a), std::invalid_argument);
+  EXPECT_THROW((void)r.track_of(*a), std::invalid_argument);
 }
 
 TEST(OnlineRouter, KSegmentLimitIsEnforced) {

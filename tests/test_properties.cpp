@@ -18,6 +18,8 @@
 #include "core/stats.h"
 #include "gen/segmentation.h"
 #include "gen/workload.h"
+#include "harness/robust_route.h"
+#include "harness/verify.h"
 
 namespace segroute::alg {
 namespace {
@@ -99,8 +101,12 @@ TEST_P(RouterProperties, GeneralizedRoutingSubsumesStandard) {
       gen::geometric_workload(small.connections, small.width, 3.0, rng);
   const bool std_ok = dp_route_unlimited(ch, cs).success;
   const auto g = generalized_dp_route(ch, cs);
-  if (std_ok) EXPECT_TRUE(g.success);
-  if (g.success) EXPECT_TRUE(validate(ch, cs, g.routing));
+  if (std_ok) {
+    EXPECT_TRUE(g.success);
+  }
+  if (g.success) {
+    EXPECT_TRUE(validate(ch, cs, g.routing));
+  }
 }
 
 TEST_P(RouterProperties, OptimalRoutersAgreeOnMinimumWeight) {
@@ -133,7 +139,9 @@ TEST_P(RouterProperties, KSegmentHierarchyIsMonotone) {
     EXPECT_TRUE(!prev || ok) << "k=" << k;
     prev = ok;
   }
-  if (prev) EXPECT_TRUE(dp_route_unlimited(ch, cs).success);
+  if (prev) {
+    EXPECT_TRUE(dp_route_unlimited(ch, cs).success);
+  }
 }
 
 TEST_P(RouterProperties, AnnealingNeverFabricatesRoutings) {
@@ -184,6 +192,42 @@ TEST_P(RouterProperties, UtilizationInvariantsHoldOnEveryRouting) {
   EXPECT_LE(st.occupied_segments, st.total_segments);
   EXPECT_LE(st.tracks_touched, ch.num_tracks());
   EXPECT_GE(st.overhang(), 1.0);
+}
+
+TEST_P(RouterProperties, EverySuccessfulRouterPassesIndependentVerification) {
+  const auto p = GetParam();
+  std::mt19937_64 rng(p.seed ^ 0x5eafULL);
+  const auto ch = make_channel(p, rng);
+  const auto cs = gen::geometric_workload(p.connections, p.width, p.mean_len, rng);
+  const harness::RouteVerifier verifier(ch, cs);
+  const auto check_ok = [&](const RouteResult& r, const char* who,
+                            harness::VerifyOptions vo = {}) {
+    if (!r.success) return;
+    const auto res = verifier.check(r, vo);
+    EXPECT_TRUE(res) << who << ": " << res.detail;
+  };
+  check_ok(dp_route_unlimited(ch, cs), "dp");
+  check_ok(greedy1_route(ch, cs), "greedy1");
+  check_ok(match1_route(ch, cs), "match1");
+  check_ok(lp_route(ch, cs), "lp");
+  check_ok(exhaustive_route(ch, cs), "exhaustive");
+  harness::VerifyOptions k2;
+  k2.max_segments = 2;
+  check_ok(dp_route_ksegment(ch, cs, 2), "dp-k2", k2);
+  harness::VerifyOptions wo;
+  wo.weight = weights::occupied_length();
+  check_ok(dp_route_optimal(ch, cs, weights::occupied_length()), "dp-opt", wo);
+  AnnealRouteOptions ao;
+  ao.iterations = 20000;
+  ao.seed = p.seed;
+  check_ok(anneal_route(ch, cs, ao), "anneal");
+  if (ch.max_segments_per_track() <= 2) {
+    check_ok(greedy2track_route(ch, cs), "greedy2track");
+  }
+  const auto rep = harness::robust_route(ch, cs);
+  if (rep.success) {
+    EXPECT_TRUE(verifier.check(rep.routing)) << "robust_route";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

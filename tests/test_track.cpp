@@ -77,8 +77,8 @@ TEST(Track, SegmentAtMapsEveryColumn) {
 
 TEST(Track, SegmentAtRejectsOutsideColumns) {
   const Track t(9, {3});
-  EXPECT_THROW(t.segment_at(0), std::out_of_range);
-  EXPECT_THROW(t.segment_at(10), std::out_of_range);
+  EXPECT_THROW((void)t.segment_at(0), std::out_of_range);
+  EXPECT_THROW((void)t.segment_at(10), std::out_of_range);
 }
 
 TEST(Track, SpanFollowsPaperOccupancyRule) {
@@ -93,7 +93,7 @@ TEST(Track, SpanFollowsPaperOccupancyRule) {
 
 TEST(Track, SpanRejectsInvertedRange) {
   const Track t(9, {3});
-  EXPECT_THROW(t.span(5, 4), std::invalid_argument);
+  EXPECT_THROW((void)t.span(5, 4), std::invalid_argument);
 }
 
 TEST(Track, SegmentsSpannedCounts) {
