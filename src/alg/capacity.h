@@ -2,6 +2,20 @@
 // asks of a segmentation scheme ("how many tracks does this workload
 // need?", "how much load does this channel take?") — the engineering
 // loop behind the companion papers [10], [11] and this paper's Fig. 2.
+//
+// Parallelism and determinism. Every search in this header evaluates
+// independent DP probes, so all of them accept a thread count through
+// CapacityOptions::threads. The contract is strict determinism: for a
+// fixed input (and, for routability, a fixed master RNG state) the
+// result is bit-identical for every thread count, including 1.
+//  - routability: the master RNG emits exactly one seed per trial (in
+//    trial order) and each trial draws from its own seeded stream, so
+//    the sampled workloads do not depend on how trials are scheduled;
+//  - min_tracks / max_routable_prefix: with threads > 1 the binary
+//    search widens into a multisection search that evaluates several
+//    probe points per round; on a monotone predicate this returns the
+//    same answer as the serial bisection, it just burns the extra
+//    probes in parallel instead of waiting on one at a time.
 #pragma once
 
 #include <functional>
@@ -23,6 +37,10 @@ struct CapacityOptions {
   int max_segments = 0;
   /// Upper bound on tracks tried before giving up.
   int track_limit = 128;
+  /// Worker threads for probe/trial evaluation: 1 = serial (the
+  /// historical behavior), 0 = hardware concurrency, N > 1 = fixed.
+  /// Results are bit-identical across all values (see file comment).
+  int threads = 1;
 };
 
 /// Smallest track count for which `make(t)` routes `cs` (DP router), or
@@ -31,19 +49,26 @@ struct CapacityOptions {
 /// (adding a track never removes capacity), so binary search applies —
 /// but monotonicity is NOT guaranteed for arbitrary factories (a factory
 /// may re-segment existing tracks as t grows), so a linear scan from the
-/// density lower bound is used unless `assume_monotone` is set.
+/// density lower bound is used unless `assume_monotone` is set. With
+/// opts.threads > 1 the scan evaluates batches of candidates (and the
+/// bisection becomes a multisection) concurrently.
 std::optional<int> min_tracks(const ConnectionSet& cs, const ChannelFactory& make,
                               const CapacityOptions& opts = {},
                               bool assume_monotone = false);
 
 /// Largest prefix (in the given order) of `cs` that routes in `ch`.
 /// Monotone by construction — removing the last connection keeps the
-/// remaining prefix routable — so binary search is sound here.
+/// remaining prefix routable — so binary search is sound here. Each
+/// probe's prefix is sliced in one bulk construction from the stored
+/// connection vector (not rebuilt add-by-add).
 int max_routable_prefix(const SegmentedChannel& ch, const ConnectionSet& cs,
                         const CapacityOptions& opts = {});
 
 /// Monte-Carlo routability estimate: fraction of `trials` workloads drawn
-/// from `draw` that route in `ch`.
+/// from `draw` that route in `ch`. The master `rng` is consumed exactly
+/// `trials` times (one seed per trial) and each trial's workload is drawn
+/// from its own per-trial stream, so the estimate is a deterministic
+/// function of (rng state, trials) regardless of opts.threads.
 double routability(const SegmentedChannel& ch,
                    const std::function<ConnectionSet(std::mt19937_64&)>& draw,
                    int trials, std::mt19937_64& rng,

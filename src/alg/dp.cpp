@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
-#include <unordered_map>
 
 #include "core/routing.h"
 
@@ -11,24 +11,15 @@ namespace segroute::alg {
 
 namespace {
 
-/// FNV-1a over the frontier vector.
-struct FrontierHash {
-  std::size_t operator()(const std::vector<Column>& v) const {
-    std::uint64_t h = 1469598103934665603ull;
-    for (Column c : v) {
-      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(c));
-      h *= 1099511628211ull;
-    }
-    return static_cast<std::size_t>(h);
+/// FNV-1a over a frontier slice of `n` columns.
+std::uint64_t hash_slice(const Column* f, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(f[i]));
+    h *= 1099511628211ull;
   }
-};
-
-struct Node {
-  std::vector<Column> frontier;  // grouped-by-class order, sorted in-class
-  std::int64_t parent = -1;
-  int edge_class = -1;  // class the connection was assigned to
-  double weight = 0.0;  // total weight of best path here (Problem 3)
-};
+  return h;
+}
 
 }  // namespace
 
@@ -43,6 +34,7 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
   harness::BudgetMeter meter(opts.budget);
 
   const TrackId T = ch.num_tracks();
+  const std::size_t Ts = static_cast<std::size_t>(T);
 
   // Build track classes: segmentation types if canonicalizing, singletons
   // otherwise. Tracks are regrouped so each class occupies a contiguous
@@ -76,15 +68,67 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
   const ConnId M = cs.size();
   const bool optimizing = opts.weight.has_value();
 
-  std::vector<Node> nodes;
-  nodes.reserve(1024);
+  // Node storage is structure-of-arrays: frontiers live in one flat arena
+  // (node i's frontier is arena[i*T .. (i+1)*T)), the per-node scalars in
+  // parallel vectors. No per-node heap allocation, and frontier equality
+  // is a memcmp over the arena.
+  std::vector<Column> arena;
+  arena.reserve(Ts * 1024);
+  std::vector<std::int64_t> parent;
+  std::vector<std::int32_t> edge_class;
+  std::vector<double> node_w;
+  parent.reserve(1024);
+  edge_class.reserve(1024);
+  node_w.reserve(1024);
+
   // Root: every track free; normalized w.r.t. the first connection's left.
   const Column L0 = M > 0 ? cs[order[0]].left : ch.width() + 1;
-  nodes.push_back(Node{std::vector<Column>(static_cast<std::size_t>(T), L0),
-                       -1, -1, 0.0});
-  std::vector<std::int64_t> level = {0};
+  arena.insert(arena.end(), Ts, L0);
+  parent.push_back(-1);
+  edge_class.push_back(-1);
+  node_w.push_back(0.0);
 
+  std::vector<std::int64_t> level = {0};
   res.stats.nodes_per_level.push_back(1);
+
+  // Every exit — success, infeasible, budget, node limit — reports the
+  // same stats shape: total_nodes, max_level_nodes, and nodes_per_level
+  // including any partially built level.
+  auto finalize_stats = [&res, &parent] {
+    res.stats.total_nodes = parent.size();
+    res.stats.max_level_nodes =
+        res.stats.nodes_per_level.empty()
+            ? 0
+            : *std::max_element(res.stats.nodes_per_level.begin(),
+                                res.stats.nodes_per_level.end());
+  };
+
+  // Per-level tables, indexed by class: everything that depends only on
+  // (class, connection) is computed once per class per level instead of
+  // once per node x class.
+  std::vector<char> cls_ok(static_cast<std::size_t>(num_classes));
+  std::vector<Column> cls_free(static_cast<std::size_t>(num_classes));
+  std::vector<double> cls_w(static_cast<std::size_t>(num_classes), 0.0);
+
+  // Candidate frontier under construction (reused across expansions).
+  std::vector<Column> scratch(Ts);
+
+  // Open-addressing dedup table over arena slices: slot -> node id, -1
+  // empty. Rebuilt per level, capacity a power of two.
+  std::vector<std::int64_t> slots;
+  std::vector<std::int64_t> next_level;
+  const auto rehash = [&](std::size_t cap) {
+    slots.assign(cap, -1);
+    const std::size_t mask = cap - 1;
+    for (std::int64_t id : next_level) {
+      std::size_t pos =
+          static_cast<std::size_t>(hash_slice(
+              arena.data() + static_cast<std::size_t>(id) * Ts, Ts)) &
+          mask;
+      while (slots[pos] >= 0) pos = (pos + 1) & mask;
+      slots[pos] = id;
+    }
+  };
 
   for (ConnId step = 0; step < M; ++step) {
     const Connection& conn = cs[order[static_cast<std::size_t>(step)]];
@@ -92,73 +136,117 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
     const Column Lnext = (step + 1 < M)
                              ? cs[order[static_cast<std::size_t>(step) + 1]].left
                              : ch.width() + 1;
-    std::unordered_map<std::vector<Column>, std::int64_t, FrontierHash> seen;
-    std::vector<std::int64_t> next_level;
+
+    // Per-level class tables: K-segment feasibility, Problem-3 edge
+    // weight, and the post-route next-free column (already normalized to
+    // the next connection's left).
+    for (int cl = 0; cl < num_classes; ++cl) {
+      const Track& tr = *class_track[static_cast<std::size_t>(cl)];
+      if (opts.max_segments > 0 &&
+          tr.segments_spanned(conn.left, conn.right) > opts.max_segments) {
+        cls_ok[static_cast<std::size_t>(cl)] = 0;
+        continue;
+      }
+      if (optimizing) {
+        const double w = (*opts.weight)(
+            ch, conn, class_tracks[static_cast<std::size_t>(cl)].front());
+        if (std::isinf(w)) {
+          cls_ok[static_cast<std::size_t>(cl)] = 0;
+          continue;
+        }
+        cls_w[static_cast<std::size_t>(cl)] = w;
+      }
+      cls_ok[static_cast<std::size_t>(cl)] = 1;
+      cls_free[static_cast<std::size_t>(cl)] = std::max(
+          tr.segment(tr.segment_at(conn.right)).right + 1, Lnext);
+    }
+
+    next_level.clear();
+    std::size_t cap = 64;
+    while (cap < level.size() * 4) cap <<= 1;
+    slots.assign(cap, -1);
+    std::size_t mask = cap - 1;
 
     for (std::int64_t ni : level) {
-      // NOTE: nodes may reallocate inside the loop; re-fetch by index.
       for (int cl = 0; cl < num_classes; ++cl) {
         if (!meter.tick()) {
           res.fail(FailureKind::kBudgetExhausted,
                    "budget exhausted: " + meter.reason());
-          res.stats.total_nodes = nodes.size();
+          res.stats.nodes_per_level.push_back(next_level.size());
+          finalize_stats();
           return res;
         }
-        const Column frontier_at_cl = [&] {
-          // A class can host the connection iff its smallest frontier entry
-          // equals L (entries are normalized to >= L, and availability
-          // means next-free-column <= left(conn) i.e. == L). In-class
-          // entries are sorted, so check the first.
-          return nodes[static_cast<std::size_t>(ni)]
-              .frontier[static_cast<std::size_t>(class_begin[static_cast<std::size_t>(cl)])];
-        }();
-        if (frontier_at_cl != L) continue;
+        // Re-fetch per iteration: the arena may reallocate on insertion.
+        const Column* pf =
+            arena.data() + static_cast<std::size_t>(ni) * Ts;
+        const int cb = class_begin[static_cast<std::size_t>(cl)];
+        const int ce = class_begin[static_cast<std::size_t>(cl) + 1];
+        // A class can host the connection iff its smallest frontier entry
+        // equals L (entries are normalized to >= L, and availability
+        // means next-free-column <= left(conn) i.e. == L). In-class
+        // entries are sorted, so check the first.
+        if (pf[cb] != L) continue;
+        if (!cls_ok[static_cast<std::size_t>(cl)]) continue;
 
-        const Track& tr = *class_track[static_cast<std::size_t>(cl)];
-        if (opts.max_segments > 0 &&
-            tr.segments_spanned(conn.left, conn.right) > opts.max_segments) {
-          continue;
+        // Build the successor frontier in scratch: the class's first
+        // entry (== L) is replaced by the post-route next-free column and
+        // repositioned within the (still sorted) class range; everything
+        // is normalized to >= Lnext on the way. Clamping by a constant
+        // preserves in-class order, so a single insertion suffices — no
+        // per-class re-sort.
+        const Column v = cls_free[static_cast<std::size_t>(cl)];
+        for (int j = 0; j < cb; ++j) scratch[j] = std::max(pf[j], Lnext);
+        int j = cb;
+        int k = cb + 1;
+        for (; k < ce; ++k) {
+          const Column x = std::max(pf[k], Lnext);
+          if (x >= v) break;
+          scratch[j++] = x;
         }
-        double edge_w = 0.0;
-        if (optimizing) {
-          edge_w = (*opts.weight)(ch, conn,
-                                  class_tracks[static_cast<std::size_t>(cl)].front());
-          if (std::isinf(edge_w)) continue;
-        }
-
-        // New frontier: the class's first entry (== L) becomes the column
-        // after the last segment the connection occupies; then normalize
-        // everything to >= Lnext and re-sort the class range.
-        std::vector<Column> f = nodes[static_cast<std::size_t>(ni)].frontier;
-        const Column new_free =
-            tr.segment(tr.segment_at(conn.right)).right + 1;
-        f[static_cast<std::size_t>(class_begin[static_cast<std::size_t>(cl)])] =
-            new_free;
-        for (Column& v : f) v = std::max(v, Lnext);
-        for (int c2 = 0; c2 < num_classes; ++c2) {
-          std::sort(f.begin() + class_begin[static_cast<std::size_t>(c2)],
-                    f.begin() + class_begin[static_cast<std::size_t>(c2) + 1]);
-        }
+        scratch[j++] = v;
+        for (; k < ce; ++k) scratch[j++] = std::max(pf[k], Lnext);
+        for (int t2 = ce; t2 < T; ++t2) scratch[t2] = std::max(pf[t2], Lnext);
 
         const double new_w =
-            nodes[static_cast<std::size_t>(ni)].weight + edge_w;
-        auto it = seen.find(f);
-        if (it == seen.end()) {
-          if (nodes.size() >= opts.max_total_nodes) {
-            res.fail(FailureKind::kBudgetExhausted,
-                     "assignment graph exceeded node limit");
-            return res;
+            node_w[static_cast<std::size_t>(ni)] +
+            cls_w[static_cast<std::size_t>(cl)];
+
+        std::size_t pos =
+            static_cast<std::size_t>(hash_slice(scratch.data(), Ts)) & mask;
+        for (;;) {
+          const std::int64_t s = slots[pos];
+          if (s < 0) {
+            if (parent.size() >= opts.max_total_nodes) {
+              res.fail(FailureKind::kBudgetExhausted,
+                       "assignment graph exceeded node limit");
+              res.stats.nodes_per_level.push_back(next_level.size());
+              finalize_stats();
+              return res;
+            }
+            const std::int64_t id = static_cast<std::int64_t>(parent.size());
+            arena.insert(arena.end(), scratch.begin(), scratch.end());
+            parent.push_back(ni);
+            edge_class.push_back(cl);
+            node_w.push_back(new_w);
+            slots[pos] = id;
+            next_level.push_back(id);
+            if ((next_level.size() + 1) * 2 > slots.size()) {
+              rehash(slots.size() * 2);
+              mask = slots.size() - 1;
+            }
+            break;
           }
-          const std::int64_t id = static_cast<std::int64_t>(nodes.size());
-          nodes.push_back(Node{f, ni, cl, new_w});
-          seen.emplace(std::move(f), id);
-          next_level.push_back(id);
-        } else if (optimizing &&
-                   new_w < nodes[static_cast<std::size_t>(it->second)].weight) {
-          Node& n = nodes[static_cast<std::size_t>(it->second)];
-          n.parent = ni;
-          n.edge_class = cl;
-          n.weight = new_w;
+          if (std::memcmp(arena.data() + static_cast<std::size_t>(s) * Ts,
+                          scratch.data(), Ts * sizeof(Column)) == 0) {
+            if (optimizing && new_w < node_w[static_cast<std::size_t>(s)]) {
+              node_w[static_cast<std::size_t>(s)] = new_w;
+              parent[static_cast<std::size_t>(s)] = ni;
+              edge_class[static_cast<std::size_t>(s)] =
+                  static_cast<std::int32_t>(cl);
+            }
+            break;
+          }
+          pos = (pos + 1) & mask;
         }
       }
     }
@@ -169,27 +257,22 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
                    " extends any frontier (level " + std::to_string(step + 1) +
                    " empty)");
       res.stats.nodes_per_level.push_back(0);
-      res.stats.total_nodes = nodes.size();
-      res.stats.max_level_nodes =
-          *std::max_element(res.stats.nodes_per_level.begin(),
-                            res.stats.nodes_per_level.end());
+      finalize_stats();
       return res;
     }
     res.stats.nodes_per_level.push_back(next_level.size());
-    level = std::move(next_level);
+    std::swap(level, next_level);
   }
 
-  res.stats.total_nodes = nodes.size();
-  res.stats.max_level_nodes = *std::max_element(
-      res.stats.nodes_per_level.begin(), res.stats.nodes_per_level.end());
+  finalize_stats();
 
   // Pick the terminal node: all frontiers at level M are normalized to
   // width+1 everywhere, so there is exactly one node; under Problem 3 the
-  // map already kept the minimum-weight path into it.
+  // dedup table already kept the minimum-weight path into it.
   std::int64_t best = level.front();
   for (std::int64_t ni : level) {
-    if (nodes[static_cast<std::size_t>(ni)].weight <
-        nodes[static_cast<std::size_t>(best)].weight) {
+    if (node_w[static_cast<std::size_t>(ni)] <
+        node_w[static_cast<std::size_t>(best)]) {
       best = ni;
     }
   }
@@ -200,11 +283,11 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
     std::int64_t cur = best;
     for (ConnId step = M; step-- > 0;) {
       class_choice[static_cast<std::size_t>(step)] =
-          nodes[static_cast<std::size_t>(cur)].edge_class;
-      cur = nodes[static_cast<std::size_t>(cur)].parent;
+          edge_class[static_cast<std::size_t>(cur)];
+      cur = parent[static_cast<std::size_t>(cur)];
     }
   }
-  std::vector<Column> next_free(static_cast<std::size_t>(T), 1);
+  std::vector<Column> next_free(Ts, 1);
   for (ConnId step = 0; step < M; ++step) {
     const ConnId ci = order[static_cast<std::size_t>(step)];
     const Connection& conn = cs[ci];
@@ -227,7 +310,7 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
     res.routing.assign(ci, chosen);
   }
 
-  res.weight = optimizing ? nodes[static_cast<std::size_t>(best)].weight : 0.0;
+  res.weight = optimizing ? node_w[static_cast<std::size_t>(best)] : 0.0;
   res.success = true;
   return res;
 }

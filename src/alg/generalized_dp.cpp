@@ -1,8 +1,9 @@
 #include "alg/generalized_dp.h"
 
 #include <algorithm>
+#include <cstring>
 #include <set>
-#include <unordered_map>
+#include <type_traits>
 
 namespace segroute::alg {
 
@@ -26,28 +27,26 @@ struct Entry {
   friend bool operator==(const Entry&, const Entry&) = default;
 };
 
-struct StateHash {
-  std::size_t operator()(const std::vector<Entry>& v) const {
-    std::uint64_t h = 1469598103934665603ull;
-    auto mix = [&h](std::uint64_t x) {
-      h ^= x;
-      h *= 1099511628211ull;
-    };
-    for (const Entry& e : v) {
-      mix(static_cast<std::uint32_t>(e.next_free));
-      mix(static_cast<std::uint32_t>(e.occupant + 1));
-      mix(static_cast<std::uint32_t>(e.prev + 1));
-      mix(static_cast<std::uint32_t>(e.cur + 1));
-    }
-    return static_cast<std::size_t>(h);
-  }
-};
+// Entry is four int32s with no padding, so state equality over the arena
+// is a memcmp and hashing can walk the raw words.
+static_assert(std::has_unique_object_representations_v<Entry>);
+static_assert(sizeof(Entry) == 4 * sizeof(std::int32_t));
 
-struct Node {
-  std::vector<Entry> state;
-  std::int64_t parent = -1;
-  TrackId edge_track = kNoTrack;
-};
+/// FNV-1a over a state slice of `n` entries (field-wise, no aliasing).
+std::uint64_t hash_state(const Entry* e, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint32_t x) {
+    h ^= static_cast<std::uint64_t>(x);
+    h *= 1099511628211ull;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    mix(static_cast<std::uint32_t>(e[i].next_free));
+    mix(static_cast<std::uint32_t>(e[i].occupant));
+    mix(static_cast<std::uint32_t>(e[i].prev));
+    mix(static_cast<std::uint32_t>(e[i].cur));
+  }
+  return h;
+}
 
 /// A unit-column piece of a parent connection (Proposition 11's C').
 struct Unit {
@@ -68,6 +67,7 @@ GeneralizedRouteResult generalized_dp_route(const SegmentedChannel& ch,
   }
   harness::BudgetMeter meter(opts.budget);
   const TrackId T = ch.num_tracks();
+  const std::size_t Ts = static_cast<std::size_t>(T);
   const bool track_prev =
       opts.allowed_switch_columns.has_value() || opts.switch_requires_overlap;
   std::set<Column> switch_cols;
@@ -87,30 +87,88 @@ GeneralizedRouteResult generalized_dp_route(const SegmentedChannel& ch,
                    [](const Unit& a, const Unit& b) { return a.col < b.col; });
   const std::size_t U = units.size();
 
-  std::vector<Node> nodes;
+  // Node storage: states in a flat arena (node i's state is
+  // arena[i*T .. (i+1)*T)), scalars in parallel vectors — no per-node
+  // heap allocation, equality by memcmp.
+  std::vector<Entry> arena;
+  arena.reserve(Ts * 1024);
+  std::vector<std::int64_t> parent;
+  std::vector<TrackId> edge_track;
+
   const Column L0 = U > 0 ? units[0].col : ch.width() + 1;
-  nodes.push_back(Node{std::vector<Entry>(static_cast<std::size_t>(T),
-                                          Entry{L0, kNoConn, kNoConn, kNoConn}),
-                       -1, kNoTrack});
+  arena.insert(arena.end(), Ts, Entry{L0, kNoConn, kNoConn, kNoConn});
+  parent.push_back(-1);
+  edge_track.push_back(kNoTrack);
+
   std::vector<std::int64_t> level = {0};
   res.stats.nodes_per_level.push_back(1);
+
+  // Consistent stats on every exit, including partially built levels.
+  auto finalize_stats = [&res, &parent] {
+    res.stats.total_nodes = parent.size();
+    res.stats.max_level_nodes =
+        res.stats.nodes_per_level.empty()
+            ? 0
+            : *std::max_element(res.stats.nodes_per_level.begin(),
+                                res.stats.nodes_per_level.end());
+  };
+
+  // Per-level per-track tables: the segment lookup at the unit's column
+  // (and at the previous column for the overlap rule) depends only on
+  // (track, level), not on the node being expanded.
+  std::vector<Column> seg_end(Ts);       // right end of segment at u.col
+  std::vector<Column> prev_seg_end(Ts);  // right end of segment at u.col-1
+
+  std::vector<Entry> scratch(Ts);
+  std::vector<std::int64_t> slots;
+  std::vector<std::int64_t> next_level;
+  const auto rehash = [&](std::size_t cap) {
+    slots.assign(cap, -1);
+    const std::size_t mask = cap - 1;
+    for (std::int64_t id : next_level) {
+      std::size_t pos =
+          static_cast<std::size_t>(hash_state(
+              arena.data() + static_cast<std::size_t>(id) * Ts, Ts)) &
+          mask;
+      while (slots[pos] >= 0) pos = (pos + 1) & mask;
+      slots[pos] = id;
+    }
+  };
 
   for (std::size_t step = 0; step < U; ++step) {
     const Unit u = units[step];
     const Column Lnext = (step + 1 < U) ? units[step + 1].col : ch.width() + 1;
-    std::unordered_map<std::vector<Entry>, std::int64_t, StateHash> seen;
-    std::vector<std::int64_t> next_level;
+    const bool switch_col_ok =
+        !opts.allowed_switch_columns || switch_cols.contains(u.col);
+
+    for (TrackId t = 0; t < T; ++t) {
+      const Track& tr = ch.track(t);
+      seg_end[static_cast<std::size_t>(t)] =
+          tr.segment(tr.segment_at(u.col)).right;
+      if (track_prev && opts.switch_requires_overlap && u.col > 1) {
+        prev_seg_end[static_cast<std::size_t>(t)] =
+            tr.segment(tr.segment_at(u.col - 1)).right;
+      }
+    }
+
+    next_level.clear();
+    std::size_t cap = 64;
+    while (cap < level.size() * 4) cap <<= 1;
+    slots.assign(cap, -1);
+    std::size_t mask = cap - 1;
 
     for (std::int64_t ni : level) {
       for (TrackId t = 0; t < T; ++t) {
         if (!meter.tick()) {
           res.fail(FailureKind::kBudgetExhausted,
                    "budget exhausted: " + meter.reason());
-          res.stats.total_nodes = nodes.size();
+          res.stats.nodes_per_level.push_back(next_level.size());
+          finalize_stats();
           return res;
         }
-        const Entry e = nodes[static_cast<std::size_t>(ni)]
-                            .state[static_cast<std::size_t>(t)];
+        // Re-fetch per iteration: the arena may reallocate on insertion.
+        const Entry* ps = arena.data() + static_cast<std::size_t>(ni) * Ts;
+        const Entry e = ps[static_cast<std::size_t>(t)];
         const bool seg_free = e.next_free == u.col;
         const bool share_ok = !seg_free && e.occupant == u.parent;
         if (!seg_free && !share_ok) continue;
@@ -119,21 +177,15 @@ GeneralizedRouteResult generalized_dp_route(const SegmentedChannel& ch,
         // track as the parent's previous piece starts a new part — a track
         // change at column u.col.
         if (track_prev && u.col > cs[u.parent].left && e.prev != u.parent) {
-          if (opts.allowed_switch_columns && !switch_cols.contains(u.col)) {
-            continue;
-          }
+          if (!switch_col_ok) continue;
           if (opts.switch_requires_overlap) {
             // The previous piece sits on the track t2 with prev == parent;
             // its segment there must extend through column u.col so a
             // vertical jumper can bridge the tracks.
             bool overlap = false;
             for (TrackId t2 = 0; t2 < T; ++t2) {
-              const Entry& e2 = nodes[static_cast<std::size_t>(ni)]
-                                    .state[static_cast<std::size_t>(t2)];
-              if (e2.prev == u.parent) {
-                const Track& tr2 = ch.track(t2);
-                overlap =
-                    tr2.segment(tr2.segment_at(u.col - 1)).right >= u.col;
+              if (ps[static_cast<std::size_t>(t2)].prev == u.parent) {
+                overlap = prev_seg_end[static_cast<std::size_t>(t2)] >= u.col;
                 break;
               }
             }
@@ -141,17 +193,16 @@ GeneralizedRouteResult generalized_dp_route(const SegmentedChannel& ch,
           }
         }
 
-        std::vector<Entry> st = nodes[static_cast<std::size_t>(ni)].state;
-        const Track& tr = ch.track(t);
-        const Segment& seg = tr.segment(tr.segment_at(u.col));
-        Entry& mine = st[static_cast<std::size_t>(t)];
-        mine.next_free = seg.right + 1;
-        mine.occupant = u.parent;
-        if (track_prev) mine.cur = u.parent;
-
-        // Normalize every entry with respect to the next unit's column.
+        // Build the successor state in scratch: apply the placement to
+        // track t and normalize every entry w.r.t. the next unit's column
+        // in one pass over the parent state.
         for (TrackId t2 = 0; t2 < T; ++t2) {
-          Entry& e2 = st[static_cast<std::size_t>(t2)];
+          Entry e2 = ps[static_cast<std::size_t>(t2)];
+          if (t2 == t) {
+            e2.next_free = seg_end[static_cast<std::size_t>(t)] + 1;
+            e2.occupant = u.parent;
+            if (track_prev) e2.cur = u.parent;
+          }
           if (Lnext > u.col) {
             // Column boundary: `cur` becomes `prev` if the columns are
             // adjacent, else both expire.
@@ -164,19 +215,38 @@ GeneralizedRouteResult generalized_dp_route(const SegmentedChannel& ch,
           } else if (e2.occupant != kNoConn && cs[e2.occupant].right < Lnext) {
             e2.occupant = kNoConn;  // parent can no longer extend: forget it
           }
+          scratch[static_cast<std::size_t>(t2)] = e2;
         }
 
-        auto it = seen.find(st);
-        if (it == seen.end()) {
-          if (nodes.size() >= opts.max_total_nodes) {
-            res.fail(FailureKind::kBudgetExhausted,
-                     "assignment graph exceeded node limit");
-            return res;
+        std::size_t pos =
+            static_cast<std::size_t>(hash_state(scratch.data(), Ts)) & mask;
+        for (;;) {
+          const std::int64_t s = slots[pos];
+          if (s < 0) {
+            if (parent.size() >= opts.max_total_nodes) {
+              res.fail(FailureKind::kBudgetExhausted,
+                       "assignment graph exceeded node limit");
+              res.stats.nodes_per_level.push_back(next_level.size());
+              finalize_stats();
+              return res;
+            }
+            const std::int64_t id = static_cast<std::int64_t>(parent.size());
+            arena.insert(arena.end(), scratch.begin(), scratch.end());
+            parent.push_back(ni);
+            edge_track.push_back(t);
+            slots[pos] = id;
+            next_level.push_back(id);
+            if ((next_level.size() + 1) * 2 > slots.size()) {
+              rehash(slots.size() * 2);
+              mask = slots.size() - 1;
+            }
+            break;
           }
-          const std::int64_t id = static_cast<std::int64_t>(nodes.size());
-          nodes.push_back(Node{st, ni, t});
-          seen.emplace(std::move(st), id);
-          next_level.push_back(id);
+          if (std::memcmp(arena.data() + static_cast<std::size_t>(s) * Ts,
+                          scratch.data(), Ts * sizeof(Entry)) == 0) {
+            break;
+          }
+          pos = (pos + 1) & mask;
         }
       }
     }
@@ -185,26 +255,21 @@ GeneralizedRouteResult generalized_dp_route(const SegmentedChannel& ch,
                "no generalized routing: level " + std::to_string(step + 1) +
                    " empty (column " + std::to_string(u.col) + ")");
       res.stats.nodes_per_level.push_back(0);
-      res.stats.total_nodes = nodes.size();
-      res.stats.max_level_nodes =
-          *std::max_element(res.stats.nodes_per_level.begin(),
-                            res.stats.nodes_per_level.end());
+      finalize_stats();
       return res;
     }
     res.stats.nodes_per_level.push_back(next_level.size());
-    level = std::move(next_level);
+    std::swap(level, next_level);
   }
 
-  res.stats.total_nodes = nodes.size();
-  res.stats.max_level_nodes = *std::max_element(
-      res.stats.nodes_per_level.begin(), res.stats.nodes_per_level.end());
+  finalize_stats();
 
   // Trace back per-unit track choices and rebuild parts.
   std::vector<TrackId> unit_track(U, kNoTrack);
   std::int64_t cur = level.front();
   for (std::size_t step = U; step-- > 0;) {
-    unit_track[step] = nodes[static_cast<std::size_t>(cur)].edge_track;
-    cur = nodes[static_cast<std::size_t>(cur)].parent;
+    unit_track[step] = edge_track[static_cast<std::size_t>(cur)];
+    cur = parent[static_cast<std::size_t>(cur)];
   }
   std::vector<std::vector<std::pair<Column, TrackId>>> per_parent(
       static_cast<std::size_t>(cs.size()));

@@ -1,10 +1,15 @@
 #include "harness/robust_route.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <limits>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
+
+#include "util/pool.h"
 
 #include "alg/anneal_route.h"
 #include "alg/branch_bound.h"
@@ -193,7 +198,7 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
   const RouteVerifier verifier(*substrate, cs);
 
   // Best verified candidate so far (optimizing mode accumulates; in
-  // feasibility mode the first one ends the cascade).
+  // feasibility mode the first one ends the serial cascade or the race).
   bool have_candidate = false;
   Routing best_routing;
   double best_weight = std::numeric_limits<double>::infinity();
@@ -203,6 +208,118 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
   if (opts.deadline) overall_deadline = t0 + *opts.deadline;
 
   bool proven_infeasible = false;
+  Stage proven_stage = Stage::kDp;
+  std::string proven_note;
+
+  if (opts.race && cascade.size() > 1) {
+    // Racing mode: every stage runs concurrently with the full deadline;
+    // the race flag doubles as the losers' cooperative-cancel signal.
+    // Seeded from the external flag so a request that arrived before the
+    // race even starts is honored without waiting on the watcher's poll.
+    std::atomic<bool> race_stop{
+        opts.cancel && opts.cancel->load(std::memory_order_relaxed)};
+    std::atomic<bool> all_done{false};
+    std::mutex mu;  // guards the best-candidate state above
+    std::vector<StageReport> srs(cascade.size());
+
+    // Chain an external cancellation request into the race flag.
+    std::thread watcher;
+    if (opts.cancel) {
+      watcher = std::thread([&] {
+        while (!all_done.load(std::memory_order_relaxed)) {
+          if (opts.cancel->load(std::memory_order_relaxed)) {
+            race_stop.store(true, std::memory_order_relaxed);
+            return;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+    }
+
+    const auto race_one = [&](std::size_t k) {
+      const StageSpec& spec = cascade[k];
+      StageReport sr;
+      sr.stage = spec.stage;
+      sr.attempted = true;
+      Budget b = spec.budget;
+      b.cancel = &race_stop;
+      if (opts.deadline) {
+        b.deadline =
+            b.deadline ? std::min(*b.deadline, *opts.deadline) : *opts.deadline;
+      }
+      const auto stage_t0 = Clock::now();
+      RouteResult r;
+      try {
+        r = run_stage(spec.stage, *substrate, cs, opts, b);
+      } catch (const std::invalid_argument& e) {
+        r.fail(FailureKind::kInvalidInput,
+               std::string("router rejected input: ") + e.what());
+      }
+      sr.elapsed_ms = ms_since(stage_t0);
+      sr.success = r.success;
+      sr.failure = r.failure;
+      sr.note = r.note;
+
+      if (r.success) {
+        VerifyOptions vo;
+        vo.max_segments = opts.max_segments;
+        if (opts.weight && stage_reports_weight(spec.stage)) {
+          vo.weight = opts.weight;  // expectation = r.weight (checked)
+        }
+        const VerifyResult v = verifier.check(r, vo);
+        if (!v) {
+          sr.success = false;
+          sr.failure = FailureKind::kVerificationFailed;
+          sr.note = std::string(to_string(v.error)) + ": " + v.detail;
+        } else {
+          sr.verified = true;
+          double w = r.weight;
+          if (opts.weight && !stage_reports_weight(spec.stage)) {
+            w = total_weight(*substrate, cs, r.routing, *opts.weight);
+          }
+          sr.weight = w;
+          std::lock_guard<std::mutex> lock(mu);
+          if (!opts.weight) {
+            // Feasibility race: first verified success wins.
+            if (!have_candidate) {
+              best_routing = r.routing;
+              best_stage = spec.stage;
+              have_candidate = true;
+              race_stop.store(true, std::memory_order_relaxed);
+            }
+          } else {
+            if (!have_candidate || w < best_weight) {
+              best_routing = r.routing;
+              best_weight = w;
+              best_stage = spec.stage;
+              have_candidate = true;
+            }
+            if (exact_optimal(spec.stage, opts, r)) {
+              race_stop.store(true, std::memory_order_relaxed);
+            }
+          }
+        }
+      } else if (proves_infeasible(spec.stage, opts, r)) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!proven_infeasible) {
+          proven_infeasible = true;
+          proven_stage = spec.stage;
+          proven_note = sr.note;
+        }
+        race_stop.store(true, std::memory_order_relaxed);
+      }
+      srs[k] = std::move(sr);  // distinct slot per stage, no lock needed
+    };
+
+    util::ThreadPool pool(static_cast<int>(cascade.size()));
+    pool.parallel_for(static_cast<std::int64_t>(cascade.size()),
+                      [&](std::int64_t k) {
+                        race_one(static_cast<std::size_t>(k));
+                      });
+    all_done.store(true, std::memory_order_relaxed);
+    if (watcher.joinable()) watcher.join();
+    for (auto& sr : srs) report.stages.push_back(std::move(sr));
+  } else
   for (std::size_t k = 0; k < cascade.size(); ++k) {
     const StageSpec& spec = cascade[k];
     StageReport sr;
@@ -280,6 +397,8 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
       }
     } else if (proves_infeasible(spec.stage, opts, r)) {
       proven_infeasible = true;
+      proven_stage = spec.stage;
+      proven_note = sr.note;
       report.stages.push_back(std::move(sr));
       break;
     }
@@ -304,8 +423,7 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
   } else if (proven_infeasible) {
     report.failure = FailureKind::kInfeasible;
     report.note = "proven infeasible by stage " +
-                  std::string(to_string(report.stages.back().stage)) + ": " +
-                  report.stages.back().note;
+                  std::string(to_string(proven_stage)) + ": " + proven_note;
   } else {
     // Aggregate: all-invalid-input > budget exhaustion > verification
     // failure > infeasible-looking give-ups.

@@ -1,0 +1,93 @@
+#include "util/pool.h"
+
+namespace segroute::util {
+
+int resolve_threads(int n) {
+  if (n > 0) return n;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) : nthreads_(resolve_threads(threads)) {
+  workers_.reserve(static_cast<std::size_t>(nthreads_ - 1));
+  for (int w = 1; w < nthreads_; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_block(int w) {
+  const std::int64_t W = nthreads_;
+  const std::int64_t begin = w * n_ / W;
+  const std::int64_t end = (w + 1) * n_ / W;
+  try {
+    for (std::int64_t i = begin; i < end; ++i) (*fn_)(i);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(int w) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    run_block(w);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t n,
+                              const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  if (nthreads_ == 1 || n == 1) {
+    // Inline fast path: no handoff, exceptions propagate directly.
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    n_ = n;
+    error_ = nullptr;
+    pending_ = nthreads_ - 1;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  run_block(0);  // the calling thread is thread 0
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    fn_ = nullptr;
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+void ThreadPool::run(const std::vector<std::function<void()>>& jobs) {
+  parallel_for(static_cast<std::int64_t>(jobs.size()),
+               [&jobs](std::int64_t i) { jobs[static_cast<std::size_t>(i)](); });
+}
+
+}  // namespace segroute::util
