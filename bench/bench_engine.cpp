@@ -1,0 +1,332 @@
+// bench_engine — repeated-route throughput of the batch engine.
+//
+// The workload routes a fixed channel over and over: 8 distinct
+// connection sets, cycled `repeats` times — the access pattern of
+// capacity sweeps, portfolio racing and Monte-Carlo studies. Three
+// paths route the identical instance stream:
+//
+//   direct          dp_route, no index, no workspace (the historical path)
+//   engine-nocache  BatchRouter with the memo cache off: shared
+//                   ChannelIndex + per-thread scratch only
+//   engine-cache    BatchRouter with the memo cache on: repeats after the
+//                   first cycle are cache hits
+//
+// plus a route_many() thread-scaling section at 1/2/8 threads.
+//
+// Checked invariants (fatal under --check):
+//   - all three paths return bit-identical results (success, weight,
+//     routing) on every instance;
+//   - route_many results are bit-identical across 1/2/8 threads,
+//     cache on and off;
+//   - engine-cache is >= 2x faster than direct at a single thread.
+//
+// Flags: --json PATH, --check PATH, --repeats N, --quick.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <optional>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "alg/dp.h"
+#include "core/weights.h"
+#include "engine/batch.h"
+#include "gen/segmentation.h"
+#include "gen/workload.h"
+#include "io/json.h"
+#include "io/table.h"
+
+using namespace segroute;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+struct Mode {
+  std::string name;
+  engine::WeightKind weight;
+};
+
+bool same_result(const alg::RouteResult& a, const alg::RouteResult& b) {
+  return a.success == b.success && a.weight == b.weight &&
+         a.routing == b.routing && a.failure == b.failure;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(10);
+  os << v;
+  return os.str();
+}
+
+/// Minimal scanner for the baseline JSON this bench itself emits (same
+/// idiom as bench_dp_hotpath).
+struct Baseline {
+  std::string text;
+
+  std::optional<double> field(const std::string& key,
+                              const std::string& name) const {
+    const std::string anchor = "\"key\": \"" + key + "\"";
+    const std::size_t at = text.find(anchor);
+    if (at == std::string::npos) return std::nullopt;
+    const std::size_t end = text.find('}', at);
+    const std::string needle = "\"" + name + "\": ";
+    const std::size_t f = text.find(needle, at);
+    if (f == std::string::npos || f > end) return std::nullopt;
+    const std::string val = text.substr(f + needle.size(), 32);
+    if (val.rfind("true", 0) == 0) return 1.0;
+    if (val.rfind("false", 0) == 0) return 0.0;
+    return std::strtod(val.c_str(), nullptr);
+  }
+};
+
+struct PathRow {
+  std::string key;  // "<mode>/<path>"
+  double ms_per_route = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path, check_path;
+  int repeats = 40;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) json_path = argv[++i];
+    else if (a == "--check" && i + 1 < argc) check_path = argv[++i];
+    else if (a == "--repeats" && i + 1 < argc) repeats = std::atoi(argv[++i]);
+    else if (a == "--quick") quick = true;
+    else {
+      std::cerr << "unknown flag: " << a << "\n";
+      return 2;
+    }
+  }
+  if (quick) repeats = std::min(repeats, 10);
+  repeats = std::max(repeats, 2);
+
+  // Fixed channel, 8 distinct routable connection sets.
+  const SegmentedChannel channel = gen::staggered_segmentation(8, 96, 8);
+  std::vector<ConnectionSet> sets;
+  for (int s = 0; s < 8; ++s) {
+    std::mt19937_64 rng(9000 + s);
+    sets.push_back(gen::routable_workload(channel, 32, 6.0, rng));
+  }
+  const std::size_t n_instances = sets.size();
+  const std::size_t stream_len = n_instances * static_cast<std::size_t>(repeats);
+
+  const std::vector<Mode> modes = {
+      {"unlimited", engine::WeightKind::kNone},
+      {"weighted", engine::WeightKind::kOccupiedLength},
+  };
+  const auto weight_fn = weights::occupied_length();
+
+  int failures = 0;
+  std::vector<PathRow> rows;
+  double speedup_nocache_min = std::numeric_limits<double>::infinity();
+  double speedup_cache_min = std::numeric_limits<double>::infinity();
+  bool identical_paths = true;
+  bool identical_threads = true;
+  engine::CacheStats cache_stats_last;
+
+  io::Table table({"mode", "path", "ms/route", "speedup"});
+  for (const Mode& mode : modes) {
+    alg::DpOptions direct_opts;
+    direct_opts.max_segments = 0;
+    if (mode.weight != engine::WeightKind::kNone) {
+      direct_opts.weight = weight_fn;
+    }
+    engine::EngineRouteOptions eo;
+    eo.weight = mode.weight;
+
+    // Reference results, one per instance, from the direct path.
+    std::vector<alg::RouteResult> reference;
+    for (const ConnectionSet& cs : sets) {
+      reference.push_back(alg::dp_route(channel, cs, direct_opts));
+    }
+
+    // --- direct ---------------------------------------------------------
+    const auto t_direct = Clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      for (const ConnectionSet& cs : sets) {
+        const auto res = alg::dp_route(channel, cs, direct_opts);
+        if (!same_result(res, reference[&cs - sets.data()])) {
+          identical_paths = false;
+        }
+      }
+    }
+    const double ms_direct =
+        ms_since(t_direct) / static_cast<double>(stream_len);
+
+    // --- engine, cache off ---------------------------------------------
+    engine::BatchOptions nocache_opts;
+    nocache_opts.threads = 1;
+    nocache_opts.use_cache = false;
+    engine::BatchRouter router_nc(channel, nocache_opts);
+    const auto t_nc = Clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      for (std::size_t s = 0; s < n_instances; ++s) {
+        const auto res = router_nc.route(sets[s], eo);
+        if (!same_result(res, reference[s])) identical_paths = false;
+      }
+    }
+    const double ms_nc = ms_since(t_nc) / static_cast<double>(stream_len);
+
+    // --- engine, cache on ----------------------------------------------
+    // One untimed warm-up pass populates the cache, so the timed loop
+    // measures steady-state hit cost and ms/route is independent of the
+    // repeat count (--quick and full runs share one baseline).
+    engine::BatchOptions cache_opts;
+    cache_opts.threads = 1;
+    engine::BatchRouter router_c(channel, cache_opts);
+    for (std::size_t s = 0; s < n_instances; ++s) {
+      const auto res = router_c.route(sets[s], eo);
+      if (!same_result(res, reference[s])) identical_paths = false;
+    }
+    const auto t_c = Clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      for (std::size_t s = 0; s < n_instances; ++s) {
+        const auto res = router_c.route(sets[s], eo);
+        if (!same_result(res, reference[s])) identical_paths = false;
+      }
+    }
+    const double ms_c = ms_since(t_c) / static_cast<double>(stream_len);
+    cache_stats_last = router_c.cache_stats();
+
+    const double sp_nc = ms_nc > 0 ? ms_direct / ms_nc : 0.0;
+    const double sp_c = ms_c > 0 ? ms_direct / ms_c : 0.0;
+    speedup_nocache_min = std::min(speedup_nocache_min, sp_nc);
+    speedup_cache_min = std::min(speedup_cache_min, sp_c);
+
+    table.add_row({mode.name, "direct", io::Table::num(ms_direct, 4), "1.0"});
+    table.add_row({mode.name, "engine-nocache", io::Table::num(ms_nc, 4),
+                   io::Table::num(sp_nc, 2)});
+    table.add_row({mode.name, "engine-cache", io::Table::num(ms_c, 4),
+                   io::Table::num(sp_c, 2)});
+    rows.push_back({mode.name + "/direct", ms_direct});
+    rows.push_back({mode.name + "/engine-nocache", ms_nc});
+    rows.push_back({mode.name + "/engine-cache", ms_c});
+
+    // --- route_many thread scaling, cache on and off --------------------
+    std::vector<ConnectionSet> stream;
+    stream.reserve(stream_len);
+    for (int r = 0; r < repeats; ++r) {
+      for (const ConnectionSet& cs : sets) stream.push_back(cs);
+    }
+    for (const bool use_cache : {false, true}) {
+      std::optional<std::vector<alg::RouteResult>> first;
+      for (const int threads : {1, 2, 8}) {
+        engine::BatchOptions bo;
+        bo.threads = threads;
+        bo.use_cache = use_cache;
+        engine::BatchRouter router(channel, bo);
+        const auto t0 = Clock::now();
+        const auto results = router.route_many(stream, eo);
+        const double ms = ms_since(t0);
+        if (!first) {
+          first = results;
+          for (std::size_t i = 0; i < results.size(); ++i) {
+            if (!same_result(results[i], reference[i % n_instances])) {
+              identical_paths = false;
+            }
+          }
+        } else {
+          for (std::size_t i = 0; i < results.size(); ++i) {
+            if (!same_result(results[i], (*first)[i])) {
+              identical_threads = false;
+            }
+          }
+        }
+        std::cout << "route_many " << mode.name << " cache="
+                  << (use_cache ? "on " : "off") << " threads=" << threads
+                  << ": " << ms << " ms (" << stream_len << " routes)\n";
+      }
+    }
+  }
+
+  std::cout << "\nbatch engine — repeated-route throughput (8 sets x "
+            << repeats << " repeats, 1 thread)\n";
+  table.print(std::cout);
+  std::cout << "cache: " << cache_stats_last.hits << " hits, "
+            << cache_stats_last.misses << " misses, "
+            << cache_stats_last.evictions << " evictions\n";
+  std::cout << (identical_paths
+                    ? "paths bit-identical (direct vs engine, cache on/off)\n"
+                    : "PATH RESULT MISMATCH\n");
+  std::cout << (identical_threads
+                    ? "route_many bit-identical across 1/2/8 threads\n"
+                    : "THREAD RESULT MISMATCH\n");
+
+  // --- JSON emission -----------------------------------------------------
+  std::ostringstream js;
+  js << "{\n  \"bench\": \"engine\",\n  \"repeats\": " << repeats
+     << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    js << "    {\"key\": \"" << io::json_escape(rows[i].key)
+       << "\", \"ms_per_route\": " << fmt(rows[i].ms_per_route) << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  js << "  ],\n";
+  js << "  \"speedup_nocache_min\": " << fmt(speedup_nocache_min) << ",\n";
+  js << "  \"speedup_cache_min\": " << fmt(speedup_cache_min) << ",\n";
+  js << "  \"identical_paths\": " << (identical_paths ? "true" : "false")
+     << ",\n";
+  js << "  \"identical_threads\": " << (identical_threads ? "true" : "false")
+     << ",\n";
+  js << "  \"engine_cache\": {\"hits\": " << cache_stats_last.hits
+     << ", \"misses\": " << cache_stats_last.misses
+     << ", \"evictions\": " << cache_stats_last.evictions << "}\n}\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << js.str();
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+
+  // --- Gates -------------------------------------------------------------
+  if (!identical_paths) {
+    std::cout << "FAIL: engine results differ from the direct path\n";
+    ++failures;
+  }
+  if (!identical_threads) {
+    std::cout << "FAIL: route_many results differ across thread counts\n";
+    ++failures;
+  }
+  if (!check_path.empty()) {
+    if (speedup_cache_min < 2.0) {
+      std::cout << "FAIL: cached speedup " << speedup_cache_min
+                << "x < required 2x\n";
+      ++failures;
+    }
+    std::ifstream in(check_path);
+    if (!in) {
+      std::cerr << "cannot read baseline " << check_path << "\n";
+      return 2;
+    }
+    Baseline base{std::string(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>())};
+    std::cout << "\nbaseline check vs " << check_path
+              << " (fail threshold: 5x)\n";
+    for (const PathRow& r : rows) {
+      const auto bms = base.field(r.key, "ms_per_route");
+      if (!bms) continue;
+      if (*bms > 0 && r.ms_per_route > 5.0 * *bms) {
+        std::cout << "  FAIL " << r.key << ": " << r.ms_per_route
+                  << " ms > 5x baseline " << *bms << " ms\n";
+        ++failures;
+      }
+    }
+    std::cout << (failures == 0 ? "baseline check passed\n"
+                                : "baseline check FAILED\n");
+  }
+  return failures == 0 ? 0 : 1;
+}

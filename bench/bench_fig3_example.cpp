@@ -22,8 +22,10 @@ int main() {
   for (ConnId i = 0; i < cs.size(); ++i) {
     const TrackId tr = greedy.routing.track_of(i);
     const SegId sg = trace.segment_of[static_cast<std::size_t>(i)];
-    t.add_row({cs[i].name,
-               "s" + std::to_string(tr + 1) + std::to_string(sg + 1),
+    std::string seg = "s";
+    seg += std::to_string(tr + 1);
+    seg += std::to_string(sg + 1);
+    t.add_row({cs[i].name, seg,
                io::Table::num(ch.track(tr).segment(sg).right)});
   }
   std::cout << t.str() << "\n" << io::render(ch, cs, greedy.routing) << "\n";

@@ -37,9 +37,12 @@ int main() {
       std::string parts;
       for (const RoutePart& part : gen_r.routing.parts(i)) {
         if (!parts.empty()) parts += " ";
-        parts += "(" + std::to_string(part.left) + "-" +
-                 std::to_string(part.right) + ")@t" +
-                 std::to_string(part.track + 1);
+        parts += "(";
+        parts += std::to_string(part.left);
+        parts += "-";
+        parts += std::to_string(part.right);
+        parts += ")@t";
+        parts += std::to_string(part.track + 1);
       }
       p.add_row({cs[i].name, parts,
                  io::Table::num(gen_r.routing.track_changes(i))});

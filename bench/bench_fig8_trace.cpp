@@ -9,6 +9,12 @@ using namespace segroute;
 
 namespace {
 
+std::string track_name(TrackId t) {
+  std::string s = "t";
+  s += std::to_string(t + 1);
+  return s;
+}
+
 std::string kind_name(alg::Greedy2Event::Kind k) {
   switch (k) {
     case alg::Greedy2Event::Kind::AssignedSegment: return "assigned segment";
@@ -38,11 +44,11 @@ int main() {
         e.kind == alg::Greedy2Event::Kind::FinalPoolAssign) {
       for (const auto& [c, tr] : e.flushed) {
         t.add_row({io::Table::num(step), kind_name(e.kind), cs[c].name,
-                   "t" + std::to_string(tr + 1)});
+                   track_name(tr)});
       }
     } else {
       t.add_row({io::Table::num(step), kind_name(e.kind), cs[e.conn].name,
-                 e.track == kNoTrack ? "-" : "t" + std::to_string(e.track + 1)});
+                 e.track == kNoTrack ? std::string("-") : track_name(e.track)});
     }
     ++step;
   }

@@ -23,7 +23,9 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 10; ++i) {
     const Column l = 1 + static_cast<Column>(rng() % 28);
     const Column r = std::min<Column>(32, l + 2 + static_cast<Column>(rng() % 8));
-    if (auto id = router.insert_with_ripup(l, r, "n" + std::to_string(i))) {
+    std::string name = "n";
+    name += std::to_string(i);
+    if (auto id = router.insert_with_ripup(l, r, name)) {
       live.push_back(*id);
       std::cout << "insert n" << i << " [" << l << "," << r << "] -> t"
                 << router.track_of(*id) + 1 << "\n";
@@ -41,7 +43,9 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 3; ++i) {
     const Column l = 1 + static_cast<Column>(rng() % 16);
     const Column r = std::min<Column>(32, l + 10 + static_cast<Column>(rng() % 6));
-    if (auto id = router.insert_with_ripup(l, r, "eco" + std::to_string(i))) {
+    std::string name = "eco";
+    name += std::to_string(i);
+    if (auto id = router.insert_with_ripup(l, r, name)) {
       live.push_back(*id);
       std::cout << "insert eco" << i << " [" << l << "," << r << "] -> t"
                 << router.track_of(*id) + 1 << "\n";

@@ -4,12 +4,17 @@
 #include <vector>
 
 #include "alg/dp.h"
+#include "engine/batch.h"
 #include "util/pool.h"
 
 namespace segroute::alg {
 
 namespace {
 
+// Direct (index-free) probe. min_tracks keeps using it because every
+// probe builds a *different* channel, so there is no shared structure
+// for a BatchRouter's index or cache to amortize; the fixed-channel
+// searches below go through the engine instead.
 bool routes(const SegmentedChannel& ch, const ConnectionSet& cs,
             const CapacityOptions& opts) {
   DpOptions o;
@@ -129,14 +134,24 @@ std::optional<int> min_tracks(const ConnectionSet& cs,
 
 int max_routable_prefix(const SegmentedChannel& ch, const ConnectionSet& cs,
                         const CapacityOptions& opts) {
+  // Fixed channel, many probes: route through the engine. The shared
+  // index is built once, probes reuse per-thread scratch, and the memo
+  // cache keeps its answers across repeated calls on the same channel
+  // (e.g. a capacity sweep re-probing overlapping prefixes).
+  engine::BatchOptions bo;
+  bo.threads = opts.threads;
+  engine::BatchRouter router(ch, bo);
+  engine::EngineRouteOptions eo;
+  eo.max_segments = opts.max_segments;
   // One bulk slice per probe from the stored vector — not an add()-loop
   // rebuild — so a probe of prefix m costs one O(m) copy.
   const std::vector<Connection>& all = cs.all();
   const auto probe = [&](int m) {
-    return routes(ch,
-                  ConnectionSet(std::vector<Connection>(all.begin(),
-                                                        all.begin() + m)),
-                  opts);
+    return router
+        .route(ConnectionSet(std::vector<Connection>(all.begin(),
+                                                     all.begin() + m)),
+               eo)
+        .success;
   };
   const int W = util::resolve_threads(opts.threads);
   int lo = 0, hi = cs.size();
@@ -188,19 +203,29 @@ double routability(const SegmentedChannel& ch,
   if (trials <= 0) return 0.0;
   // Per-trial RNG streams: the master rng emits exactly one seed per
   // trial, in trial order, so both the master stream consumption and
-  // every trial's workload are independent of the thread count.
+  // every trial's workload are independent of the thread count. The
+  // workloads are drawn up front (same streams, same order) and routed
+  // as one engine batch: shared index and per-thread scratch, memo
+  // cache off — independently drawn random workloads essentially never
+  // repeat, so caching them would only burn memory.
   std::vector<std::uint64_t> seeds(static_cast<std::size_t>(trials));
   for (auto& s : seeds) s = rng();
-  std::vector<unsigned char> ok(static_cast<std::size_t>(trials), 0);
-  util::ThreadPool pool(opts.threads);
-  pool.parallel_for(trials, [&](std::int64_t i) {
-    const auto iu = static_cast<std::size_t>(i);
-    std::mt19937_64 trial_rng(seeds[iu]);
-    const ConnectionSet cs = draw(trial_rng);
-    ok[iu] = (cs.max_right() <= ch.width() && routes(ch, cs, opts)) ? 1 : 0;
-  });
+  std::vector<ConnectionSet> batch(static_cast<std::size_t>(trials));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    std::mt19937_64 trial_rng(seeds[i]);
+    batch[i] = draw(trial_rng);
+  }
+  engine::BatchOptions bo;
+  bo.threads = opts.threads;
+  bo.use_cache = false;
+  engine::BatchRouter router(ch, bo);
+  engine::EngineRouteOptions eo;
+  eo.max_segments = opts.max_segments;
+  const std::vector<RouteResult> results = router.route_many(batch, eo);
   int n = 0;
-  for (unsigned char v : ok) n += v;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (batch[i].max_right() <= ch.width() && results[i].success) ++n;
+  }
   return static_cast<double>(n) / static_cast<double>(trials);
 }
 

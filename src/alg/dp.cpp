@@ -5,6 +5,7 @@
 #include <cstring>
 #include <limits>
 
+#include "core/channel_index.h"
 #include "core/routing.h"
 
 namespace segroute::alg {
@@ -35,36 +36,60 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
 
   const TrackId T = ch.num_tracks();
   const std::size_t Ts = static_cast<std::size_t>(T);
+  const ChannelIndex* idx = opts.index;
+
+  // All per-call vectors come from a workspace: the caller's (steady-state
+  // allocation-free across repeated routes) or a call-local fallback.
+  DpWorkspace local_ws;
+  DpWorkspace& ws = opts.workspace ? *opts.workspace : local_ws;
 
   // Build track classes: segmentation types if canonicalizing, singletons
   // otherwise. Tracks are regrouped so each class occupies a contiguous
-  // range of frontier positions.
-  std::vector<std::vector<TrackId>> class_tracks;
+  // range of frontier positions. Flat layout: class cl's members are
+  // class_members[class_begin[cl] .. class_begin[cl+1]), in ascending
+  // track order (counting sort; type ids are first-appearance ordered).
+  auto& class_begin = ws.class_begin;
+  auto& class_members = ws.class_members;
+  int num_classes;
   if (opts.canonicalize_types) {
-    class_tracks.resize(static_cast<std::size_t>(ch.num_types()));
+    const std::vector<int>& type_of = idx ? idx->type_of() : ch.type_of();
+    num_classes = idx ? idx->num_types() : ch.num_types();
+    class_begin.assign(static_cast<std::size_t>(num_classes) + 1, 0);
     for (TrackId t = 0; t < T; ++t) {
-      class_tracks[static_cast<std::size_t>(ch.type_of()[static_cast<std::size_t>(t)])]
-          .push_back(t);
+      ++class_begin[static_cast<std::size_t>(
+                        type_of[static_cast<std::size_t>(t)]) +
+                    1];
+    }
+    for (int c = 0; c < num_classes; ++c) {
+      class_begin[static_cast<std::size_t>(c) + 1] +=
+          class_begin[static_cast<std::size_t>(c)];
+    }
+    ws.class_cursor.assign(class_begin.begin(), class_begin.end() - 1);
+    class_members.resize(Ts);
+    for (TrackId t = 0; t < T; ++t) {
+      const int cl = type_of[static_cast<std::size_t>(t)];
+      class_members[static_cast<std::size_t>(
+          ws.class_cursor[static_cast<std::size_t>(cl)]++)] = t;
     }
   } else {
-    class_tracks.resize(static_cast<std::size_t>(T));
-    for (TrackId t = 0; t < T; ++t) class_tracks[static_cast<std::size_t>(t)] = {t};
+    num_classes = static_cast<int>(T);
+    class_begin.resize(Ts + 1);
+    class_members.resize(Ts);
+    for (TrackId t = 0; t < T; ++t) {
+      class_begin[static_cast<std::size_t>(t)] = static_cast<int>(t);
+      class_members[static_cast<std::size_t>(t)] = t;
+    }
+    class_begin[Ts] = static_cast<int>(T);
   }
-  const int num_classes = static_cast<int>(class_tracks.size());
-  std::vector<int> class_begin(static_cast<std::size_t>(num_classes) + 1, 0);
-  for (int c = 0; c < num_classes; ++c) {
-    class_begin[static_cast<std::size_t>(c) + 1] =
-        class_begin[static_cast<std::size_t>(c)] +
-        static_cast<int>(class_tracks[static_cast<std::size_t>(c)].size());
-  }
-  // Representative track per class (identical segmentation within class).
-  std::vector<const Track*> class_track(static_cast<std::size_t>(num_classes));
-  for (int c = 0; c < num_classes; ++c) {
-    class_track[static_cast<std::size_t>(c)] =
-        &ch.track(class_tracks[static_cast<std::size_t>(c)].front());
-  }
+  // Representative track per class: the first member (lowest id; identical
+  // segmentation within a class makes it stand for all of them).
+  const auto class_rep = [&](int cl) {
+    return class_members[static_cast<std::size_t>(
+        class_begin[static_cast<std::size_t>(cl)])];
+  };
 
-  const std::vector<ConnId> order = cs.sorted_by_left();
+  cs.sorted_by_left(ws.order);
+  const std::vector<ConnId>& order = ws.order;
   const ConnId M = cs.size();
   const bool optimizing = opts.weight.has_value();
 
@@ -72,11 +97,15 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
   // (node i's frontier is arena[i*T .. (i+1)*T)), the per-node scalars in
   // parallel vectors. No per-node heap allocation, and frontier equality
   // is a memcmp over the arena.
-  std::vector<Column> arena;
+  auto& arena = ws.arena;
+  auto& parent = ws.parent;
+  auto& edge_class = ws.edge_class;
+  auto& node_w = ws.node_w;
+  arena.clear();
   arena.reserve(Ts * 1024);
-  std::vector<std::int64_t> parent;
-  std::vector<std::int32_t> edge_class;
-  std::vector<double> node_w;
+  parent.clear();
+  edge_class.clear();
+  node_w.clear();
   parent.reserve(1024);
   edge_class.reserve(1024);
   node_w.reserve(1024);
@@ -88,7 +117,9 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
   edge_class.push_back(-1);
   node_w.push_back(0.0);
 
-  std::vector<std::int64_t> level = {0};
+  auto& level = ws.level;
+  level.clear();
+  level.push_back(0);
   res.stats.nodes_per_level.push_back(1);
 
   // Every exit — success, infeasible, budget, node limit — reports the
@@ -106,17 +137,22 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
   // Per-level tables, indexed by class: everything that depends only on
   // (class, connection) is computed once per class per level instead of
   // once per node x class.
-  std::vector<char> cls_ok(static_cast<std::size_t>(num_classes));
-  std::vector<Column> cls_free(static_cast<std::size_t>(num_classes));
-  std::vector<double> cls_w(static_cast<std::size_t>(num_classes), 0.0);
+  auto& cls_ok = ws.cls_ok;
+  auto& cls_free = ws.cls_free;
+  auto& cls_w = ws.cls_w;
+  cls_ok.assign(static_cast<std::size_t>(num_classes), 0);
+  cls_free.assign(static_cast<std::size_t>(num_classes), 0);
+  cls_w.assign(static_cast<std::size_t>(num_classes), 0.0);
 
   // Candidate frontier under construction (reused across expansions).
-  std::vector<Column> scratch(Ts);
+  auto& scratch = ws.scratch;
+  scratch.resize(Ts);
 
   // Open-addressing dedup table over arena slices: slot -> node id, -1
   // empty. Rebuilt per level, capacity a power of two.
-  std::vector<std::int64_t> slots;
-  std::vector<std::int64_t> next_level;
+  auto& slots = ws.slots;
+  auto& next_level = ws.next_level;
+  next_level.clear();
   const auto rehash = [&](std::size_t cap) {
     slots.assign(cap, -1);
     const std::size_t mask = cap - 1;
@@ -141,15 +177,18 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
     // weight, and the post-route next-free column (already normalized to
     // the next connection's left).
     for (int cl = 0; cl < num_classes; ++cl) {
-      const Track& tr = *class_track[static_cast<std::size_t>(cl)];
-      if (opts.max_segments > 0 &&
-          tr.segments_spanned(conn.left, conn.right) > opts.max_segments) {
-        cls_ok[static_cast<std::size_t>(cl)] = 0;
-        continue;
+      const TrackId rep = class_rep(cl);
+      if (opts.max_segments > 0) {
+        const int spanned =
+            idx ? idx->segments_spanned(rep, conn.left, conn.right)
+                : ch.track(rep).segments_spanned(conn.left, conn.right);
+        if (spanned > opts.max_segments) {
+          cls_ok[static_cast<std::size_t>(cl)] = 0;
+          continue;
+        }
       }
       if (optimizing) {
-        const double w = (*opts.weight)(
-            ch, conn, class_tracks[static_cast<std::size_t>(cl)].front());
+        const double w = (*opts.weight)(ch, conn, rep);
         if (std::isinf(w)) {
           cls_ok[static_cast<std::size_t>(cl)] = 0;
           continue;
@@ -157,8 +196,14 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
         cls_w[static_cast<std::size_t>(cl)] = w;
       }
       cls_ok[static_cast<std::size_t>(cl)] = 1;
-      cls_free[static_cast<std::size_t>(cl)] = std::max(
-          tr.segment(tr.segment_at(conn.right)).right + 1, Lnext);
+      Column free;
+      if (idx) {
+        free = idx->next_free_after(rep, conn.right);
+      } else {
+        const Track& tr = ch.track(rep);
+        free = tr.segment(tr.segment_at(conn.right)).right + 1;
+      }
+      cls_free[static_cast<std::size_t>(cl)] = std::max(free, Lnext);
     }
 
     next_level.clear();
@@ -278,7 +323,8 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
   }
 
   // Trace back the class choices, then replay forward against real tracks.
-  std::vector<int> class_choice(static_cast<std::size_t>(M), -1);
+  auto& class_choice = ws.class_choice;
+  class_choice.assign(static_cast<std::size_t>(M), -1);
   {
     std::int64_t cur = best;
     for (ConnId step = M; step-- > 0;) {
@@ -287,13 +333,16 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
       cur = parent[static_cast<std::size_t>(cur)];
     }
   }
-  std::vector<Column> next_free(Ts, 1);
+  auto& next_free = ws.next_free;
+  next_free.assign(Ts, 1);
   for (ConnId step = 0; step < M; ++step) {
     const ConnId ci = order[static_cast<std::size_t>(step)];
     const Connection& conn = cs[ci];
     const int cl = class_choice[static_cast<std::size_t>(step)];
     TrackId chosen = kNoTrack;
-    for (TrackId t : class_tracks[static_cast<std::size_t>(cl)]) {
+    for (int m = class_begin[static_cast<std::size_t>(cl)];
+         m < class_begin[static_cast<std::size_t>(cl) + 1]; ++m) {
+      const TrackId t = class_members[static_cast<std::size_t>(m)];
       if (next_free[static_cast<std::size_t>(t)] <= conn.left) {
         chosen = t;
         break;
@@ -304,9 +353,14 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
       res.fail(FailureKind::kInternal, "internal: replay failed");
       return res;
     }
-    const Track& tr = ch.track(chosen);
-    next_free[static_cast<std::size_t>(chosen)] =
-        tr.segment(tr.segment_at(conn.right)).right + 1;
+    if (idx) {
+      next_free[static_cast<std::size_t>(chosen)] =
+          idx->next_free_after(chosen, conn.right);
+    } else {
+      const Track& tr = ch.track(chosen);
+      next_free[static_cast<std::size_t>(chosen)] =
+          tr.segment(tr.segment_at(conn.right)).right + 1;
+    }
     res.routing.assign(ci, chosen);
   }
 

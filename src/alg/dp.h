@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "alg/result.h"
 #include "core/channel.h"
@@ -26,7 +27,38 @@
 #include "core/weights.h"
 #include "harness/budget.h"
 
+namespace segroute {
+class ChannelIndex;  // core/channel_index.h
+}
+
 namespace segroute::alg {
+
+/// Reusable scratch for dp_route: every per-call vector (frontier arena,
+/// node metadata SoA, dedup table, per-level class tables, replay state)
+/// in one bundle, so repeated calls on one thread are allocation-free in
+/// steady state. Plain data — default-construct and hand the same object
+/// to successive calls. NOT thread-safe: one workspace per thread, never
+/// shared by concurrent (or nested) dp_route calls. The engine's
+/// per-thread scratch (engine/scratch.h) owns one per thread.
+struct DpWorkspace {
+  std::vector<Column> arena;
+  std::vector<std::int64_t> parent;
+  std::vector<std::int32_t> edge_class;
+  std::vector<double> node_w;
+  std::vector<std::int64_t> level;
+  std::vector<std::int64_t> next_level;
+  std::vector<std::int64_t> slots;
+  std::vector<char> cls_ok;
+  std::vector<Column> cls_free;
+  std::vector<double> cls_w;
+  std::vector<Column> scratch;
+  std::vector<ConnId> order;
+  std::vector<TrackId> class_members;  // member tracks, flattened by class
+  std::vector<int> class_begin;        // per-class offsets into class_members
+  std::vector<int> class_cursor;
+  std::vector<int> class_choice;
+  std::vector<Column> next_free;
+};
 
 struct DpOptions {
   /// 0 = unlimited-segment routing (Problem 1); K > 0 = K-segment routing
@@ -51,6 +83,16 @@ struct DpOptions {
   /// frontier expansion). On exhaustion the router returns a structured
   /// FailureKind::kBudgetExhausted failure instead of running unbounded.
   harness::Budget budget;
+
+  /// Prebuilt index over the channel being routed (must match `ch`).
+  /// Replaces the per-call class derivation and every per-Track
+  /// segment_at binary search with O(1) table lookups. Results are
+  /// bit-identical with and without it.
+  const ChannelIndex* index = nullptr;
+
+  /// Reusable scratch (see DpWorkspace). When null a call-local
+  /// workspace is used — the historical allocate-per-call behavior.
+  DpWorkspace* workspace = nullptr;
 };
 
 /// Runs the assignment-graph DP. On success the routing is complete and

@@ -1,12 +1,14 @@
 #include "alg/greedy1.h"
 
+#include <optional>
+
 #include "core/routing.h"
 
 namespace segroute::alg {
 
 RouteResult greedy1_route_traced(const SegmentedChannel& ch,
                                  const ConnectionSet& cs, Greedy1Trace* trace,
-                                 TieBreak tie) {
+                                 TieBreak tie, const RouteContext& ctx) {
   RouteResult res;
   res.routing = Routing(cs.size());
   if (trace) {
@@ -16,18 +18,28 @@ RouteResult greedy1_route_traced(const SegmentedChannel& ch,
     res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
     return res;
   }
-  Occupancy occ(ch);
+  const ChannelIndex* idx = ctx.index;
+  std::optional<Occupancy> local_occ;
+  Occupancy& occ = ctx.occupancy ? *ctx.occupancy : local_occ.emplace(ch);
+  if (ctx.occupancy) occ.reset();
   for (ConnId i : cs.sorted_by_left()) {
     const Connection& c = cs[i];
     TrackId best = kNoTrack;
     SegId best_seg = -1;
     Column best_right = 0;
     for (TrackId t = 0; t < ch.num_tracks(); ++t) {
-      const Track& tr = ch.track(t);
-      auto [a, b] = tr.span(c.left, c.right);
+      SegId a, b;
+      if (idx) {
+        a = idx->segment_at(t, c.left);
+        b = idx->segment_at(t, c.right);
+      } else {
+        const auto [sa, sb] = ch.track(t).span(c.left, c.right);
+        a = sa;
+        b = sb;
+      }
       if (a != b) continue;                      // needs more than one segment
       if (occ.occupant(t, a) != kNoConn) continue;  // already taken
-      const Column r = tr.segment(a).right;
+      const Column r = idx ? idx->seg_right(t, a) : ch.track(t).segment(a).right;
       const bool better =
           best == kNoTrack || r < best_right ||
           (r == best_right && tie == TieBreak::HighestTrack);
@@ -52,8 +64,8 @@ RouteResult greedy1_route_traced(const SegmentedChannel& ch,
 }
 
 RouteResult greedy1_route(const SegmentedChannel& ch, const ConnectionSet& cs,
-                          TieBreak tie) {
-  return greedy1_route_traced(ch, cs, nullptr, tie);
+                          TieBreak tie, const RouteContext& ctx) {
+  return greedy1_route_traced(ch, cs, nullptr, tie, ctx);
 }
 
 }  // namespace segroute::alg

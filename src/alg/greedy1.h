@@ -4,6 +4,7 @@
 
 #include "alg/result.h"
 #include "core/channel.h"
+#include "core/channel_index.h"
 #include "core/connection.h"
 
 namespace segroute::alg {
@@ -17,8 +18,13 @@ enum class TieBreak { LowestTrack, HighestTrack };
 /// where it fits in one *unoccupied* segment, pick the one whose segment
 /// has the smallest right end. Complete iff any 1-segment routing exists
 /// (Theorem 3).
+///
+/// `ctx` optionally supplies a prebuilt ChannelIndex (O(1) segment
+/// lookups) and a reusable Occupancy (reset here; no per-call
+/// allocation). Results are bit-identical with and without it.
 RouteResult greedy1_route(const SegmentedChannel& ch, const ConnectionSet& cs,
-                          TieBreak tie = TieBreak::LowestTrack);
+                          TieBreak tie = TieBreak::LowestTrack,
+                          const RouteContext& ctx = {});
 
 /// The segment chosen for each connection, for trace-style reporting
 /// (track and segment index per connection); parallel to the routing.
@@ -29,6 +35,7 @@ struct Greedy1Trace {
 /// As greedy1_route but also reports which segment each connection took.
 RouteResult greedy1_route_traced(const SegmentedChannel& ch,
                                  const ConnectionSet& cs, Greedy1Trace* trace,
-                                 TieBreak tie = TieBreak::LowestTrack);
+                                 TieBreak tie = TieBreak::LowestTrack,
+                                 const RouteContext& ctx = {});
 
 }  // namespace segroute::alg

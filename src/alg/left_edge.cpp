@@ -1,5 +1,6 @@
 #include "alg/left_edge.h"
 
+#include <optional>
 #include <stdexcept>
 
 #include "core/routing.h"
@@ -7,7 +8,7 @@
 namespace segroute::alg {
 
 RouteResult left_edge_route(const SegmentedChannel& ch, const ConnectionSet& cs,
-                            int max_segments) {
+                            int max_segments, const RouteContext& ctx) {
   if (!ch.identically_segmented()) {
     throw std::invalid_argument(
         "left_edge_route: channel must be identically segmented");
@@ -18,11 +19,18 @@ RouteResult left_edge_route(const SegmentedChannel& ch, const ConnectionSet& cs,
     res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
     return res;
   }
-  Occupancy occ(ch);
+  const ChannelIndex* idx = ctx.index;
+  std::optional<Occupancy> local_occ;
+  Occupancy& occ = ctx.occupancy ? *ctx.occupancy : local_occ.emplace(ch);
+  if (ctx.occupancy) occ.reset();
   for (ConnId i : cs.sorted_by_left()) {
     const Connection& c = cs[i];
-    if (max_segments > 0 &&
-        ch.track(0).segments_spanned(c.left, c.right) > max_segments) {
+    const int spanned0 =
+        max_segments > 0
+            ? (idx ? idx->segments_spanned(0, c.left, c.right)
+                   : ch.track(0).segments_spanned(c.left, c.right))
+            : 0;
+    if (max_segments > 0 && spanned0 > max_segments) {
       res.fail(FailureKind::kInfeasible,
                "connection " + std::to_string(i) + " needs more than " +
                    std::to_string(max_segments) + " segments in every track");

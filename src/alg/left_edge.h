@@ -4,6 +4,7 @@
 
 #include "alg/result.h"
 #include "core/channel.h"
+#include "core/channel_index.h"
 #include "core/connection.h"
 
 namespace segroute::alg {
@@ -18,8 +19,12 @@ namespace segroute::alg {
 /// Precondition: ch.identically_segmented(). (The algorithm runs on any
 /// channel, but its exactness guarantee — and this function — require
 /// identical tracks; throws std::invalid_argument otherwise.)
+///
+/// `ctx` optionally supplies a prebuilt ChannelIndex and a reusable
+/// Occupancy (reset here); results are bit-identical with and without it.
 RouteResult left_edge_route(const SegmentedChannel& ch, const ConnectionSet& cs,
-                            int max_segments = 0);
+                            int max_segments = 0,
+                            const RouteContext& ctx = {});
 
 /// Conventional (freely customized) channel routing baseline: the number
 /// of tracks the left-edge algorithm needs with no segmentation

@@ -1,6 +1,7 @@
 #include "alg/match1.h"
 
 #include <cmath>
+#include <optional>
 
 #include "match/hopcroft_karp.h"
 #include "match/hungarian.h"
@@ -9,7 +10,9 @@ namespace segroute::alg {
 
 namespace {
 
-/// Flattened (track, segment) index space for the right-hand side.
+/// Flattened (track, segment) index space for the right-hand side —
+/// the per-call fallback when no ChannelIndex is supplied (which holds
+/// the same tables prebuilt).
 struct SegIndex {
   std::vector<int> base;  // per track, offset of its first segment
   int total = 0;
@@ -31,21 +34,47 @@ struct SegIndex {
   }
 };
 
+/// Uniform view over ChannelIndex / fallback SegIndex.
+struct FlatSegs {
+  const ChannelIndex* idx;
+  std::optional<SegIndex> local;
+
+  FlatSegs(const SegmentedChannel& ch, const ChannelIndex* index)
+      : idx(index) {
+    if (!idx) local.emplace(ch);
+  }
+  [[nodiscard]] int total() const {
+    return idx ? idx->total_segments() : local->total;
+  }
+  [[nodiscard]] int flat(TrackId t, SegId s) const {
+    return idx ? idx->seg_base(t) + s : local->flat(t, s);
+  }
+  [[nodiscard]] TrackId track_of_flat(int f) const {
+    return idx ? idx->track_of_flat(f) : local->track_of_flat(f);
+  }
+  [[nodiscard]] std::pair<SegId, SegId> span(const SegmentedChannel& ch,
+                                             TrackId t, Column lo,
+                                             Column hi) const {
+    return idx ? idx->span(t, lo, hi) : ch.track(t).span(lo, hi);
+  }
+};
+
 }  // namespace
 
-RouteResult match1_route(const SegmentedChannel& ch, const ConnectionSet& cs) {
+RouteResult match1_route(const SegmentedChannel& ch, const ConnectionSet& cs,
+                         const RouteContext& ctx) {
   RouteResult res;
   res.routing = Routing(cs.size());
   if (cs.max_right() > ch.width()) {
     res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
     return res;
   }
-  SegIndex idx(ch);
-  match::BipartiteGraph g(cs.size(), idx.total);
+  FlatSegs idx(ch, ctx.index);
+  match::BipartiteGraph g(cs.size(), idx.total());
   for (ConnId i = 0; i < cs.size(); ++i) {
     const Connection& c = cs[i];
     for (TrackId t = 0; t < ch.num_tracks(); ++t) {
-      auto [a, b] = ch.track(t).span(c.left, c.right);
+      auto [a, b] = idx.span(ch, t, c.left, c.right);
       if (a == b) g.add_edge(i, idx.flat(t, a));
     }
   }
@@ -64,7 +93,8 @@ RouteResult match1_route(const SegmentedChannel& ch, const ConnectionSet& cs) {
 }
 
 RouteResult match1_route_optimal(const SegmentedChannel& ch,
-                                 const ConnectionSet& cs, const WeightFn& w) {
+                                 const ConnectionSet& cs, const WeightFn& w,
+                                 const RouteContext& ctx) {
   RouteResult res;
   res.routing = Routing(cs.size());
   if (cs.size() == 0) {
@@ -75,26 +105,27 @@ RouteResult match1_route_optimal(const SegmentedChannel& ch,
     res.note = "connections exceed channel width";
     return res;
   }
-  SegIndex idx(ch);
-  if (cs.size() > idx.total) {
+  FlatSegs idx(ch, ctx.index);
+  const int total = idx.total();
+  if (cs.size() > total) {
     res.fail(FailureKind::kInfeasible, "more connections than segments");
     return res;
   }
   std::vector<double> cost(static_cast<std::size_t>(cs.size()) *
-                               static_cast<std::size_t>(idx.total),
+                               static_cast<std::size_t>(total),
                            match::kForbidden);
   for (ConnId i = 0; i < cs.size(); ++i) {
     const Connection& c = cs[i];
     for (TrackId t = 0; t < ch.num_tracks(); ++t) {
-      auto [a, b] = ch.track(t).span(c.left, c.right);
+      auto [a, b] = idx.span(ch, t, c.left, c.right);
       if (a != b) continue;
       const double wc = w(ch, c, t);
       if (std::isinf(wc)) continue;
-      cost[static_cast<std::size_t>(i) * static_cast<std::size_t>(idx.total) +
+      cost[static_cast<std::size_t>(i) * static_cast<std::size_t>(total) +
            static_cast<std::size_t>(idx.flat(t, a))] = wc;
     }
   }
-  const auto m = match::hungarian(cs.size(), idx.total, cost);
+  const auto m = match::hungarian(cs.size(), total, cost);
   if (!m.feasible) {
     res.fail(FailureKind::kInfeasible, "no complete 1-segment routing exists");
     return res;

@@ -47,12 +47,17 @@ ConnId ConnectionSet::add(Column left, Column right, std::string name) {
 }
 
 std::vector<ConnId> ConnectionSet::sorted_by_left() const {
-  std::vector<ConnId> order(conns_.size());
-  for (ConnId i = 0; i < size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(), [this](ConnId a, ConnId b) {
+  std::vector<ConnId> order;
+  sorted_by_left(order);
+  return order;
+}
+
+void ConnectionSet::sorted_by_left(std::vector<ConnId>& out) const {
+  out.resize(conns_.size());
+  for (ConnId i = 0; i < size(); ++i) out[static_cast<std::size_t>(i)] = i;
+  std::stable_sort(out.begin(), out.end(), [this](ConnId a, ConnId b) {
     return conns_[a].left < conns_[b].left;
   });
-  return order;
 }
 
 bool ConnectionSet::is_sorted_by_left() const {

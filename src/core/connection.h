@@ -50,6 +50,10 @@ class ConnectionSet {
   /// Connection ids sorted by non-decreasing left end (stable).
   [[nodiscard]] std::vector<ConnId> sorted_by_left() const;
 
+  /// As sorted_by_left(), written into `out` (capacity reused across
+  /// calls) — the allocation-free variant for repeated-route workspaces.
+  void sorted_by_left(std::vector<ConnId>& out) const;
+
   /// True if the stored order already has non-decreasing left ends.
   [[nodiscard]] bool is_sorted_by_left() const;
 

@@ -27,6 +27,28 @@ Occupancy::Occupancy(const SegmentedChannel& ch) : ch_(&ch) {
   }
 }
 
+void Occupancy::reset() {
+  for (auto& row : occ_) std::fill(row.begin(), row.end(), kNoConn);
+}
+
+void Occupancy::rebind(const SegmentedChannel& ch) {
+  bool same_shape = occ_.size() == static_cast<std::size_t>(ch.num_tracks());
+  for (TrackId t = 0; same_shape && t < ch.num_tracks(); ++t) {
+    same_shape = occ_[static_cast<std::size_t>(t)].size() ==
+                 static_cast<std::size_t>(ch.track(t).num_segments());
+  }
+  ch_ = &ch;
+  if (same_shape) {
+    reset();
+    return;
+  }
+  occ_.resize(static_cast<std::size_t>(ch.num_tracks()));
+  for (TrackId t = 0; t < ch.num_tracks(); ++t) {
+    occ_[static_cast<std::size_t>(t)].assign(
+        static_cast<std::size_t>(ch.track(t).num_segments()), kNoConn);
+  }
+}
+
 bool Occupancy::fits(TrackId t, Column lo, Column hi) const {
   auto [a, b] = ch_->track(t).span(lo, hi);
   const auto& row = occ_[static_cast<std::size_t>(t)];

@@ -68,6 +68,17 @@ class Occupancy {
  public:
   explicit Occupancy(const SegmentedChannel& ch);
 
+  /// Clears every segment to unoccupied in place, without reallocating.
+  /// Lets a caller that routes repeatedly on one channel reuse a single
+  /// workspace instead of constructing a fresh Occupancy per attempt.
+  void reset();
+
+  /// Points the workspace at `ch` and clears it. When `ch` has the same
+  /// per-track segment counts as the current channel the rows are reused
+  /// in place (the steady-state, allocation-free path of the engine's
+  /// per-thread scratch); otherwise they are rebuilt.
+  void rebind(const SegmentedChannel& ch);
+
   /// True if connection span [lo, hi] can be placed on track t without
   /// touching an occupied segment.
   [[nodiscard]] bool fits(TrackId t, Column lo, Column hi) const;

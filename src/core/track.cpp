@@ -1,6 +1,7 @@
 #include "core/track.h"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 #include <string>
 
@@ -56,7 +57,6 @@ Track::Track(std::vector<Segment> segments) : segments_(std::move(segments)) {
     }
   }
   width_ = segments_.back().right;
-  build_lookup();
 }
 
 Track Track::from_segments(std::vector<Segment> segments) {
@@ -72,21 +72,25 @@ Track Track::fully_segmented(Column width) {
   return Track(width, std::move(sw));
 }
 
-void Track::build_lookup() {
-  seg_of_col_.assign(static_cast<std::size_t>(width_) + 1, 0);
-  for (SegId i = 0; i < num_segments(); ++i) {
-    for (Column c = segments_[i].left; c <= segments_[i].right; ++c) {
-      seg_of_col_[static_cast<std::size_t>(c)] = i;
-    }
-  }
-}
-
 SegId Track::segment_at(Column c) const {
   if (c < 1 || c > width_) {
     throw std::out_of_range("Track::segment_at: column " + std::to_string(c) +
                             " outside [1, " + std::to_string(width_) + "]");
   }
-  return seg_of_col_[static_cast<std::size_t>(c)];
+  assert(!segments_.empty() && segments_.back().right == width_ &&
+         "Track invariant: segments partition columns 1..width");
+  // Branchless binary search for the last segment with left <= c: the
+  // probe result feeds a conditional move, not a branch, so the search
+  // pipeline never mispredicts on adversarial switch layouts.
+  const Segment* base = segments_.data();
+  std::size_t lo = 0;
+  std::size_t n = segments_.size();
+  while (n > 1) {
+    const std::size_t half = n / 2;
+    lo = (base[lo + half].left <= c) ? lo + half : lo;
+    n -= half;
+  }
+  return static_cast<SegId>(lo);
 }
 
 std::pair<SegId, SegId> Track::span(Column lo, Column hi) const {

@@ -44,6 +44,9 @@ class Track {
   [[nodiscard]] const std::vector<Segment>& segments() const { return segments_; }
 
   /// Index of the segment containing column `c` (1 <= c <= width).
+  /// Branchless binary search over the segment list, O(log S) with no
+  /// per-column lookup table. The hot routers bypass this entirely via
+  /// ChannelIndex's O(1) per-column table (core/channel_index.h).
   [[nodiscard]] SegId segment_at(Column c) const;
 
   /// Segment-index range [first, last] (inclusive) a connection spanning
@@ -75,11 +78,9 @@ class Track {
 
  private:
   explicit Track(std::vector<Segment> segments);
-  void build_lookup();
 
   Column width_ = 0;
   std::vector<Segment> segments_;
-  std::vector<SegId> seg_of_col_;  // size width_+1, index 0 unused
 };
 
 }  // namespace segroute

@@ -1,0 +1,184 @@
+#include "engine/batch.h"
+
+#include <algorithm>
+
+#include "engine/scratch.h"
+
+namespace segroute::engine {
+
+namespace {
+
+std::uint64_t fnv_pair(Column l, Column r) {
+  std::uint64_t h = 1469598103934665603ull;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(l));
+  h *= 1099511628211ull;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(r));
+  h *= 1099511628211ull;
+  return h;
+}
+
+/// Cache-safe results are pure functions of (channel, instance, options):
+/// success or proven infeasibility. Budget-limited and invalid-input
+/// outcomes are not cached (the former depend on machine load, the
+/// latter are cheap to recompute and carry no routing).
+bool cacheable(const alg::RouteResult& r) {
+  return r.success || r.failure == alg::FailureKind::kInfeasible;
+}
+
+}  // namespace
+
+const char* to_string(WeightKind k) {
+  switch (k) {
+    case WeightKind::kNone:
+      return "none";
+    case WeightKind::kOccupiedLength:
+      return "occupied-length";
+    case WeightKind::kSegmentCount:
+      return "segment-count";
+    case WeightKind::kWastedLength:
+      return "wasted-length";
+    case WeightKind::kUnit:
+      return "unit";
+  }
+  return "?";
+}
+
+std::optional<WeightFn> make_weight(WeightKind k) {
+  switch (k) {
+    case WeightKind::kNone:
+      return std::nullopt;
+    case WeightKind::kOccupiedLength:
+      return weights::occupied_length();
+    case WeightKind::kSegmentCount:
+      return weights::segment_count();
+    case WeightKind::kWastedLength:
+      return weights::wasted_length();
+    case WeightKind::kUnit:
+      return weights::unit();
+  }
+  return std::nullopt;
+}
+
+BatchRouter::BatchRouter(const SegmentedChannel& ch, BatchOptions opts)
+    : ch_(&ch), index_(ch), opts_(opts), pool_(opts.threads) {
+  for (int k = 0; k < 5; ++k) {
+    weight_fns_[k] = make_weight(static_cast<WeightKind>(k));
+  }
+}
+
+BatchRouter::CacheKey BatchRouter::make_key(
+    const ConnectionSet& cs, const EngineRouteOptions& opts) const {
+  CacheKey key;
+  key.max_segments = opts.max_segments;
+  key.weight = opts.weight;
+  key.conns.reserve(static_cast<std::size_t>(cs.size()));
+  // Permutation-invariant hash (commutative combine over per-connection
+  // hashes, mixed with the options and the channel fingerprint) so the
+  // "connection multiset" lands in one bucket; equality still compares
+  // the exact sequence, because a routing maps connection *ids* to
+  // tracks and a permuted instance needs its own entry.
+  std::uint64_t h = index_.fingerprint();
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(opts.max_segments))
+       * 1099511628211ull;
+  h ^= static_cast<std::uint64_t>(opts.weight) * 1099511628211ull;
+  for (const Connection& c : cs.all()) {
+    key.conns.emplace_back(c.left, c.right);
+    h += fnv_pair(c.left, c.right);
+  }
+  key.hash = h;
+  return key;
+}
+
+alg::RouteResult BatchRouter::route_one(const ConnectionSet& cs,
+                                        const EngineRouteOptions& opts,
+                                        const harness::Budget& budget) {
+  Scratch& scratch = thread_scratch();
+  alg::DpOptions dp_opts;
+  dp_opts.max_segments = opts.max_segments;
+  dp_opts.weight = weight_fns_[static_cast<int>(opts.weight)];
+  dp_opts.budget = budget;
+  dp_opts.index = &index_;
+  dp_opts.workspace = &scratch.dp();
+  return alg::dp_route(*ch_, cs, dp_opts);
+}
+
+alg::RouteResult BatchRouter::route(const ConnectionSet& cs,
+                                    const EngineRouteOptions& opts) {
+  const bool pure = opts.budget.unlimited();
+  if (!opts_.use_cache || !pure || opts_.cache_capacity == 0) {
+    return route_one(cs, opts, opts.budget);
+  }
+  CacheKey key = make_key(cs, opts);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = by_key_.find(key);
+    if (it != by_key_.end()) {
+      ++hits_;
+      entries_.splice(entries_.begin(), entries_, it->second);  // touch
+      return it->second->result;
+    }
+    ++misses_;
+  }
+  alg::RouteResult res = route_one(cs, opts, opts.budget);
+  if (cacheable(res)) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    // Another thread may have inserted the same key while we routed;
+    // both computed identical results, so keeping the existing entry is
+    // equivalent.
+    if (by_key_.find(key) == by_key_.end()) {
+      entries_.push_front(CacheEntry{std::move(key), res});
+      by_key_.emplace(entries_.front().key, entries_.begin());
+      while (entries_.size() > opts_.cache_capacity) {
+        by_key_.erase(entries_.back().key);
+        entries_.pop_back();
+        ++evictions_;
+      }
+    }
+  }
+  return res;
+}
+
+std::vector<alg::RouteResult> BatchRouter::route_many(
+    const std::vector<ConnectionSet>& batch, const EngineRouteOptions& opts) {
+  std::vector<alg::RouteResult> results(batch.size());
+  if (batch.empty()) return results;
+
+  // Per-instance budget: the caller's, tightened by an even slice of the
+  // batch deadline when one is configured. Slices are a function of the
+  // batch size only — not of the thread count — so results stay
+  // thread-count invariant (up to wall-clock jitter inherent in any
+  // deadline).
+  EngineRouteOptions inst_opts = opts;
+  if (opts_.deadline) {
+    const auto slice = *opts_.deadline / static_cast<int>(batch.size());
+    inst_opts.budget.deadline =
+        inst_opts.budget.deadline ? std::min(*inst_opts.budget.deadline, slice)
+                                  : slice;
+  }
+
+  pool_.parallel_for(static_cast<std::int64_t>(batch.size()),
+                     [&](std::int64_t i) {
+                       results[static_cast<std::size_t>(i)] =
+                           route(batch[static_cast<std::size_t>(i)], inst_opts);
+                     });
+  return results;
+}
+
+CacheStats BatchRouter::cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  CacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.size = entries_.size();
+  s.capacity = opts_.use_cache ? opts_.cache_capacity : 0;
+  return s;
+}
+
+void BatchRouter::clear_cache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  entries_.clear();
+  by_key_.clear();
+}
+
+}  // namespace segroute::engine

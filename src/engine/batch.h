@@ -1,0 +1,179 @@
+// BatchRouter: a memoizing, multi-threaded front end for repeated
+// routing on one channel.
+//
+// FPGA-style workloads route the *same* segmented channel over and over
+// — capacity probes re-route under growing prefixes, the portfolio
+// router races several strategies on one instance, Monte-Carlo
+// routability draws thousands of random connection sets. The direct
+// path pays full price each time: class derivation, segment binary
+// searches, workspace allocation, and — when instances repeat — the
+// whole DP again for an answer already computed.
+//
+// The engine stacks three layers on the shared ChannelIndex:
+//
+//   1. the index itself, built once per BatchRouter and threaded into
+//      every router call (O(1) segment lookups, prebuilt type classes);
+//   2. per-thread scratch arenas (engine/scratch.h), so steady-state
+//      calls are allocation-free;
+//   3. a bounded LRU memo cache keyed by (channel fingerprint,
+//      connection sequence, routing options), with hit/miss/eviction
+//      counters.
+//
+// Determinism contract. route() and route_many() return results
+// bit-identical to the direct dp_route() path, for every thread count
+// and with the cache on or off:
+//   - cache keys compare the exact connection sequence (the hash is
+//     permutation-invariant, the equality is not), so an id-permuted
+//     instance can never be served another permutation's routing;
+//   - only *pure* results — success or proven infeasibility under an
+//     unlimited budget — are cached; budget-limited calls bypass the
+//     cache entirely in both directions;
+//   - route_many() partitions statically (instance i's result never
+//     depends on scheduling); only the cache *counters* may vary with
+//     thread interleaving, never the results.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "alg/dp.h"
+#include "alg/result.h"
+#include "core/channel_index.h"
+#include "core/connection.h"
+#include "core/weights.h"
+#include "harness/budget.h"
+#include "util/pool.h"
+
+namespace segroute::engine {
+
+/// Hashable weight selection for the memo cache (a raw WeightFn is an
+/// opaque std::function and cannot key a cache). kNone = feasibility
+/// routing (Problems 1/2); the rest name the catalog in core/weights.h.
+enum class WeightKind {
+  kNone = 0,
+  kOccupiedLength,
+  kSegmentCount,
+  kWastedLength,
+  kUnit,
+};
+
+const char* to_string(WeightKind k);
+
+/// The WeightFn a WeightKind names (kNone yields an empty optional).
+std::optional<WeightFn> make_weight(WeightKind k);
+
+/// Per-instance routing options understood by the engine (the hashable
+/// subset of alg::DpOptions).
+struct EngineRouteOptions {
+  /// 0 = unlimited-segment routing; K > 0 = K-segment routing.
+  int max_segments = 0;
+
+  /// Optimization objective (Problem 3) or kNone for feasibility.
+  WeightKind weight = WeightKind::kNone;
+
+  /// Per-instance resource bounds. A non-unlimited budget makes the call
+  /// bypass the memo cache (budget-limited outcomes are not pure
+  /// functions of the instance).
+  harness::Budget budget;
+};
+
+/// Memo-cache observability counters (a snapshot; `size` <= `capacity`).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+};
+
+struct BatchOptions {
+  /// Worker threads for route_many (<= 0: hardware concurrency).
+  int threads = 1;
+
+  /// Enable the memo cache.
+  bool use_cache = true;
+
+  /// Maximum cached results; least-recently-used entries are evicted.
+  std::size_t cache_capacity = 256;
+
+  /// Optional total wall-clock allowance for each route_many() call,
+  /// divided evenly into per-instance deadline slices (instance budgets
+  /// stay independent of thread count, preserving determinism up to
+  /// deadline jitter). Unset = no batch-level deadline.
+  std::optional<std::chrono::milliseconds> deadline;
+};
+
+class BatchRouter {
+ public:
+  /// Builds the shared index once. The channel must outlive the router.
+  explicit BatchRouter(const SegmentedChannel& ch, BatchOptions opts = {});
+
+  [[nodiscard]] const ChannelIndex& index() const { return index_; }
+  [[nodiscard]] const BatchOptions& options() const { return opts_; }
+
+  /// Routes one instance through the engine (index + thread scratch +
+  /// memo cache). Bit-identical to dp_route with the same options.
+  alg::RouteResult route(const ConnectionSet& cs,
+                         const EngineRouteOptions& opts = {});
+
+  /// Routes every instance, deterministically partitioned over the
+  /// worker pool. results[i] corresponds to batch[i] and is independent
+  /// of the thread count.
+  std::vector<alg::RouteResult> route_many(
+      const std::vector<ConnectionSet>& batch,
+      const EngineRouteOptions& opts = {});
+
+  [[nodiscard]] CacheStats cache_stats() const;
+  void clear_cache();
+
+ private:
+  struct CacheKey {
+    int max_segments = 0;
+    WeightKind weight = WeightKind::kNone;
+    std::vector<std::pair<Column, Column>> conns;  // exact sequence
+    std::uint64_t hash = 0;  // permutation-invariant, precomputed
+
+    friend bool operator==(const CacheKey& a, const CacheKey& b) {
+      return a.max_segments == b.max_segments && a.weight == b.weight &&
+             a.conns == b.conns;
+    }
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      return static_cast<std::size_t>(k.hash);
+    }
+  };
+  struct CacheEntry {
+    CacheKey key;
+    alg::RouteResult result;
+  };
+
+  CacheKey make_key(const ConnectionSet& cs,
+                    const EngineRouteOptions& opts) const;
+  alg::RouteResult route_one(const ConnectionSet& cs,
+                             const EngineRouteOptions& opts,
+                             const harness::Budget& budget);
+
+  const SegmentedChannel* ch_;
+  ChannelIndex index_;
+  BatchOptions opts_;
+  std::optional<WeightFn> weight_fns_[5];  // one per WeightKind, lazy-free
+  util::ThreadPool pool_;
+
+  // Bounded LRU: entries_ is most-recent-first; by_key_ points into it.
+  mutable std::mutex cache_mu_;
+  std::list<CacheEntry> entries_;
+  std::unordered_map<CacheKey, std::list<CacheEntry>::iterator, CacheKeyHash>
+      by_key_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace segroute::engine

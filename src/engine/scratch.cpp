@@ -1,0 +1,24 @@
+#include "engine/scratch.h"
+
+namespace segroute::engine {
+
+Occupancy& Scratch::occupancy_for(const SegmentedChannel& ch,
+                                  std::uint64_t fingerprint) {
+  if (!occ_) {
+    occ_.emplace(ch);
+  } else {
+    // rebind() updates the bound channel and clears in place; it re-checks
+    // the per-track shape itself, so an (astronomically unlikely)
+    // fingerprint collision still rebuilds correctly.
+    occ_->rebind(ch);
+  }
+  occ_fp_ = fingerprint;
+  return *occ_;
+}
+
+Scratch& thread_scratch() {
+  thread_local Scratch scratch;
+  return scratch;
+}
+
+}  // namespace segroute::engine

@@ -1,0 +1,60 @@
+// Per-thread scratch arenas for the batch routing engine.
+//
+// Repeated routing on one channel spends a surprising share of its time
+// in allocator traffic: every router call used to construct a fresh
+// Occupancy and the DP rebuilt its frontier arena, dedup table and class
+// tables from nothing. A Scratch bundles those reusable workspaces —
+// one Occupancy, one alg::DpWorkspace — and `thread_scratch()` hands
+// each thread its own thread-local instance, so the steady state of a
+// batch run is allocation-free: vectors keep their capacity between
+// calls and only grow when a larger channel shows up.
+//
+// Keying. The Occupancy workspace is keyed by the channel's
+// ChannelIndex fingerprint: when consecutive calls carry the same
+// fingerprint the rows are structurally guaranteed to match and are
+// cleared in place; a different fingerprint rebinds (and, if the shape
+// really changed, reallocates). Occupancy::rebind re-checks shape
+// row-by-row regardless, so a fingerprint collision degrades to a
+// correct rebuild, never to corruption.
+//
+// Thread safety: a Scratch is single-thread state. thread_scratch()
+// returns the calling thread's own instance; never share one across
+// threads or across nested router calls.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "alg/dp.h"
+#include "core/channel_index.h"
+#include "core/routing.h"
+
+namespace segroute::engine {
+
+class Scratch {
+ public:
+  /// The Occupancy workspace bound to `ch`, reset to all-free. When
+  /// `fingerprint` matches the previous call's the rows are reused in
+  /// place; otherwise the workspace is rebound to the new channel.
+  Occupancy& occupancy_for(const SegmentedChannel& ch,
+                           std::uint64_t fingerprint);
+
+  /// As above, keyed and bound via a prebuilt index.
+  Occupancy& occupancy_for(const ChannelIndex& idx) {
+    return occupancy_for(idx.channel(), idx.fingerprint());
+  }
+
+  /// The thread's reusable DP workspace (see alg::DpWorkspace).
+  [[nodiscard]] alg::DpWorkspace& dp() { return dp_; }
+
+ private:
+  std::optional<Occupancy> occ_;
+  std::uint64_t occ_fp_ = 0;
+  alg::DpWorkspace dp_;
+};
+
+/// The calling thread's scratch (thread-local singleton; lives until
+/// thread exit).
+Scratch& thread_scratch();
+
+}  // namespace segroute::engine

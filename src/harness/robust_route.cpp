@@ -19,6 +19,8 @@
 #include "alg/left_edge.h"
 #include "alg/lp_route.h"
 #include "alg/match1.h"
+#include "core/channel_index.h"
+#include "engine/scratch.h"
 
 namespace segroute::harness {
 
@@ -60,24 +62,36 @@ std::vector<StageSpec> default_cascade() {
 
 RouteResult run_stage(Stage s, const SegmentedChannel& ch,
                       const ConnectionSet& cs, const RobustOptions& o,
-                      const Budget& b) {
+                      const Budget& b, const ChannelIndex& idx) {
+  // Index-aware stages take the shared per-call index (built once on the
+  // routed substrate) plus the calling thread's scratch arenas: stages
+  // race on separate pool threads, and thread_scratch() is thread-local,
+  // so no workspace is ever shared.
   switch (s) {
     case Stage::kDp: {
       alg::DpOptions dp;
       dp.max_segments = o.max_segments;
       dp.weight = o.weight;
       dp.budget = b;
+      dp.index = &idx;
+      dp.workspace = &engine::thread_scratch().dp();
       return alg::dp_route(ch, cs, dp);
     }
-    case Stage::kGreedy1:
-      return alg::greedy1_route(ch, cs);
-    case Stage::kMatch1:
-      return o.weight ? alg::match1_route_optimal(ch, cs, *o.weight)
-                      : alg::match1_route(ch, cs);
+    case Stage::kGreedy1: {
+      RouteContext ctx{&idx, &engine::thread_scratch().occupancy_for(idx)};
+      return alg::greedy1_route(ch, cs, alg::TieBreak::LowestTrack, ctx);
+    }
+    case Stage::kMatch1: {
+      RouteContext ctx{&idx, nullptr};
+      return o.weight ? alg::match1_route_optimal(ch, cs, *o.weight, ctx)
+                      : alg::match1_route(ch, cs, ctx);
+    }
     case Stage::kGreedy2:
       return alg::greedy2track_route(ch, cs);
-    case Stage::kLeftEdge:
-      return alg::left_edge_route(ch, cs, o.max_segments);
+    case Stage::kLeftEdge: {
+      RouteContext ctx{&idx, &engine::thread_scratch().occupancy_for(idx)};
+      return alg::left_edge_route(ch, cs, o.max_segments, ctx);
+    }
     case Stage::kLp: {
       alg::LpRouteOptions lp;
       lp.max_segments = o.max_segments;
@@ -101,6 +115,7 @@ RouteResult run_stage(Stage s, const SegmentedChannel& ch,
       alg::BranchBoundOptions bb;
       bb.max_segments = o.max_segments;
       bb.budget = b;
+      bb.index = &idx;
       return alg::branch_bound_route(ch, cs, *o.weight, bb);
     }
   }
@@ -195,7 +210,11 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
 
   const std::vector<StageSpec> cascade =
       opts.stages.empty() ? default_cascade() : opts.stages;
-  const RouteVerifier verifier(*substrate, cs);
+  // One shared index per call, built on the substrate actually routed —
+  // after fault application, so a degraded channel gets its own
+  // fingerprint and its own structure tables.
+  const ChannelIndex index(*substrate);
+  const RouteVerifier verifier(*substrate, cs, &index);
 
   // Best verified candidate so far (optimizing mode accumulates; in
   // feasibility mode the first one ends the serial cascade or the race).
@@ -250,7 +269,7 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
       const auto stage_t0 = Clock::now();
       RouteResult r;
       try {
-        r = run_stage(spec.stage, *substrate, cs, opts, b);
+        r = run_stage(spec.stage, *substrate, cs, opts, b, index);
       } catch (const std::invalid_argument& e) {
         r.fail(FailureKind::kInvalidInput,
                std::string("router rejected input: ") + e.what());
@@ -348,7 +367,7 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
     const auto stage_t0 = Clock::now();
     RouteResult r;
     try {
-      r = run_stage(spec.stage, *substrate, cs, opts, b);
+      r = run_stage(spec.stage, *substrate, cs, opts, b, index);
     } catch (const std::invalid_argument& e) {
       r.fail(FailureKind::kInvalidInput,
              std::string("router rejected input: ") + e.what());

@@ -27,6 +27,7 @@
 #include "alg/online.h"
 #include "alg/result.h"
 #include "core/channel.h"
+#include "core/channel_index.h"
 #include "core/connection.h"
 #include "core/generalized.h"
 #include "core/routing.h"
@@ -35,6 +36,8 @@
 #include "core/track.h"
 #include "core/types.h"
 #include "core/weights.h"
+#include "engine/batch.h"
+#include "engine/scratch.h"
 #include "fpga/delay.h"
 #include "fpga/device.h"
 #include "fpga/netlist.h"

@@ -1,0 +1,30 @@
+# Configure, build and run the ThreadSanitizer smoke subset
+# (segroute_tsan_tests = test_parallel + test_engine) in a dedicated
+# sub-build with SEGROUTE_SANITIZE=thread. Invoked by the `tsan_smoke`
+# ctest with -DSOURCE_DIR, -DBUILD_DIR and -DCXX_COMPILER.
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -S "${SOURCE_DIR}" -B "${BUILD_DIR}"
+          -DCMAKE_CXX_COMPILER=${CXX_COMPILER}
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo
+          -DSEGROUTE_SANITIZE=thread
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tsan_smoke: configure failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" --build "${BUILD_DIR}"
+          --target segroute_tsan_tests --parallel
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tsan_smoke: build failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND "${BUILD_DIR}/tests/segroute_tsan_tests"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tsan_smoke: segroute_tsan_tests failed (${rc}) — "
+                      "ThreadSanitizer report above")
+endif()
