@@ -16,6 +16,8 @@
 //   --threads N    thread count for the parallel sections (0 = hardware)
 //   --trials N     Monte-Carlo trials for section B (default 200)
 //   --quick        fewer repetitions (for smoke use)
+//   --trace PATH   record the run in a trace session, write Chrome JSON
+//   --metrics PATH write the metrics snapshot at exit
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -30,6 +32,7 @@
 
 #include "alg/capacity.h"
 #include "alg/dp.h"
+#include "bench_json.h"
 #include "core/weights.h"
 #include "gen/segmentation.h"
 #include "gen/suite.h"
@@ -102,32 +105,7 @@ std::vector<NamedInstance> bench_instances() {
   return out;
 }
 
-std::string fmt(double v) {
-  std::ostringstream os;
-  os.precision(10);
-  os << v;
-  return os.str();
-}
-
-/// Minimal scanner for the baseline JSON this bench itself emits.
-struct Baseline {
-  std::string text;
-
-  std::optional<double> field(const std::string& key,
-                              const std::string& name) const {
-    const std::string anchor = "\"key\": \"" + key + "\"";
-    const std::size_t at = text.find(anchor);
-    if (at == std::string::npos) return std::nullopt;
-    const std::size_t end = text.find('}', at);
-    const std::string needle = "\"" + name + "\": ";
-    const std::size_t f = text.find(needle, at);
-    if (f == std::string::npos || f > end) return std::nullopt;
-    const std::string val = text.substr(f + needle.size(), 32);
-    if (val.rfind("true", 0) == 0) return 1.0;
-    if (val.rfind("false", 0) == 0) return 0.0;
-    return std::strtod(val.c_str(), nullptr);
-  }
-};
+using bench::fmt;
 
 }  // namespace
 
@@ -136,6 +114,7 @@ int main(int argc, char** argv) {
   int threads = 0;
   int trials = 200;
   bool quick = false;
+  bench::ObsOutputs obs_out;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--json" && i + 1 < argc) json_path = argv[++i];
@@ -143,12 +122,14 @@ int main(int argc, char** argv) {
     else if (a == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
     else if (a == "--trials" && i + 1 < argc) trials = std::atoi(argv[++i]);
     else if (a == "--quick") quick = true;
+    else if (obs_out.parse_flag(argc, argv, i)) continue;
     else {
       std::cerr << "unknown flag: " << a << "\n";
       return 2;
     }
   }
   const int W = util::resolve_threads(threads);
+  obs_out.start();
 
   // --- Section A: dp_route per instance and mode -------------------------
   const auto w = weights::occupied_length();
@@ -245,6 +226,8 @@ int main(int argc, char** argv) {
     std::cout << "DRIVER RESULT MISMATCH ACROSS THREAD COUNTS\n";
   }
 
+  obs_out.finish(std::cout);
+
   // --- JSON emission -----------------------------------------------------
   std::ostringstream js;
   js << "{\n  \"bench\": \"dp_hotpath\",\n  \"threads\": " << W
@@ -270,8 +253,7 @@ int main(int argc, char** argv) {
   // This bench routes every instance directly (no BatchRouter), so the
   // engine-cache counters are structurally zero; the field exists so all
   // perf JSON shares one schema (bench_engine fills it in).
-  js << "  \"engine_cache\": {\"hits\": 0, \"misses\": 0, \"evictions\": 0}"
-     << "\n}\n";
+  js << "  " << bench::engine_cache_json(0, 0, 0) << "\n}\n";
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -287,8 +269,8 @@ int main(int argc, char** argv) {
       std::cerr << "cannot read baseline " << check_path << "\n";
       return 2;
     }
-    Baseline base{std::string(std::istreambuf_iterator<char>(in),
-                              std::istreambuf_iterator<char>())};
+    bench::Baseline base{std::string(std::istreambuf_iterator<char>(in),
+                                     std::istreambuf_iterator<char>())};
     std::cout << "\nbaseline check vs " << check_path
               << " (fail threshold: 5x)\n";
     for (const BenchRow& r : rows) {

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/routing.h"
+#include "obs/instrument.h"
 
 namespace segroute::alg {
 
@@ -30,6 +31,11 @@ struct Search {
   bool found = false;
   bool aborted = false;
   std::uint64_t nodes = 0;
+  // Pruning tallies (plain locals in the recursion, flushed once after
+  // the search): subtrees cut by the suffix bound, and sorted-choice
+  // scans cut short because no later child could beat the incumbent.
+  std::uint64_t bound_prunes = 0;
+  std::uint64_t choice_prunes = 0;
 
   Search(const SegmentedChannel& c, const ConnectionSet& s,
          const BranchBoundOptions& o)
@@ -42,7 +48,10 @@ struct Search {
       aborted = true;
       return;
     }
-    if (cost + suffix_bound[depth] >= best_weight) return;  // bound
+    if (cost + suffix_bound[depth] >= best_weight) {  // bound
+      ++bound_prunes;
+      return;
+    }
     if (depth == order.size()) {
       best = current;
       best_weight = cost;
@@ -53,6 +62,7 @@ struct Search {
     const Connection& c = cs[i];
     for (const Choice& ch_ : choices[depth]) {
       if (cost + ch_.weight + suffix_bound[depth + 1] >= best_weight) {
+        ++choice_prunes;
         break;  // choices are sorted: no later child can do better
       }
       if (!occ.place(ch_.track, c.left, c.right, i)) continue;
@@ -72,12 +82,15 @@ RouteResult branch_bound_route(const SegmentedChannel& ch,
                                const BranchBoundOptions& opts) {
   RouteResult res;
   res.routing = Routing(cs.size());
+  SEGROUTE_SPAN(bb_span, "alg.branch_bound_route");
   if (cs.max_right() > ch.width()) {
     res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
+    SEGROUTE_SPAN_TAG(bb_span, "outcome", to_string(res.failure));
     return res;
   }
   if (cs.size() == 0) {
     res.success = true;
+    SEGROUTE_SPAN_TAG(bb_span, "outcome", "success");
     return res;
   }
 
@@ -102,6 +115,7 @@ RouteResult branch_bound_route(const SegmentedChannel& ch,
       res.fail(FailureKind::kInfeasible,
                "connection " + std::to_string(s.order[d]) +
                    " has no feasible track");
+      SEGROUTE_SPAN_TAG(bb_span, "outcome", to_string(res.failure));
       return res;
     }
     std::sort(opt.begin(), opt.end(), [](const Choice& a, const Choice& b) {
@@ -117,6 +131,9 @@ RouteResult branch_bound_route(const SegmentedChannel& ch,
 
   s.dfs(0, 0.0);
   res.stats.iterations = s.nodes;
+  SEGROUTE_COUNT("branch_bound.nodes", s.nodes);
+  SEGROUTE_COUNT("branch_bound.bound_prunes", s.bound_prunes);
+  SEGROUTE_COUNT("branch_bound.choice_prunes", s.choice_prunes);
   if (!s.found) {
     if (s.aborted) {
       res.fail(FailureKind::kBudgetExhausted,
@@ -127,9 +144,11 @@ RouteResult branch_bound_route(const SegmentedChannel& ch,
     } else {
       res.fail(FailureKind::kInfeasible, "no routing exists (search exhausted)");
     }
+    SEGROUTE_SPAN_TAG(bb_span, "outcome", to_string(res.failure));
     return res;
   }
   res.success = true;
+  SEGROUTE_SPAN_TAG(bb_span, "outcome", "success");
   res.routing = s.best;
   res.weight = s.best_weight;
   if (s.aborted) {

@@ -7,6 +7,7 @@
 
 #include "core/channel_index.h"
 #include "core/routing.h"
+#include "obs/instrument.h"
 
 namespace segroute::alg {
 
@@ -28,8 +29,10 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
                      const DpOptions& opts) {
   RouteResult res;
   res.routing = Routing(cs.size());
+  SEGROUTE_SPAN(dp_span, "alg.dp_route");
   if (cs.max_right() > ch.width()) {
     res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
+    SEGROUTE_SPAN_TAG(dp_span, "outcome", to_string(res.failure));
     return res;
   }
   harness::BudgetMeter meter(opts.budget);
@@ -122,16 +125,35 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
   level.push_back(0);
   res.stats.nodes_per_level.push_back(1);
 
+  // Dedup hits accumulate in a plain local and are flushed to the metrics
+  // registry once per call — never an atomic op inside the hot loop.
+  std::uint64_t dedup_hits = 0;
+
   // Every exit — success, infeasible, budget, node limit — reports the
   // same stats shape: total_nodes, max_level_nodes, and nodes_per_level
-  // including any partially built level.
-  auto finalize_stats = [&res, &parent] {
+  // including any partially built level. Also the single flush point for
+  // this call's observability.
+  auto finalize_stats = [&] {
     res.stats.total_nodes = parent.size();
     res.stats.max_level_nodes =
         res.stats.nodes_per_level.empty()
             ? 0
             : *std::max_element(res.stats.nodes_per_level.begin(),
                                 res.stats.nodes_per_level.end());
+    SEGROUTE_COUNT("dp.routes", 1);
+    SEGROUTE_COUNT("dp.nodes_created", res.stats.total_nodes);
+    SEGROUTE_COUNT("dp.dedup_hits", dedup_hits);
+    SEGROUTE_GAUGE_MAX("dp.frontier_high_water", res.stats.max_level_nodes);
+    SEGROUTE_GAUGE_MAX("dp.arena_high_water_bytes",
+                       arena.capacity() * sizeof(Column));
+    for (std::size_t n : res.stats.nodes_per_level) {
+      SEGROUTE_HIST("dp.level_nodes", n,
+                    {1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 16384});
+    }
+    SEGROUTE_SPAN_TAG(dp_span, "outcome",
+                      res.failure == FailureKind::kNone
+                          ? "success"
+                          : to_string(res.failure));
   };
 
   // Per-level tables, indexed by class: everything that depends only on
@@ -283,6 +305,7 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
           }
           if (std::memcmp(arena.data() + static_cast<std::size_t>(s) * Ts,
                           scratch.data(), Ts * sizeof(Column)) == 0) {
+            ++dedup_hits;
             if (optimizing && new_w < node_w[static_cast<std::size_t>(s)]) {
               node_w[static_cast<std::size_t>(s)] = new_w;
               parent[static_cast<std::size_t>(s)] = ni;
@@ -351,6 +374,7 @@ RouteResult dp_route(const SegmentedChannel& ch, const ConnectionSet& cs,
     // Guaranteed by the DP invariant; guard anyway.
     if (chosen == kNoTrack) {
       res.fail(FailureKind::kInternal, "internal: replay failed");
+      SEGROUTE_SPAN_TAG(dp_span, "outcome", to_string(res.failure));
       return res;
     }
     if (idx) {

@@ -60,6 +60,19 @@ struct DpWorkspace {
   std::vector<Column> next_free;
 };
 
+/// Heap bytes retained by a workspace (vector capacities, not sizes):
+/// the arena high-water mark a long-lived workspace holds between calls.
+inline std::size_t workspace_bytes(const DpWorkspace& ws) {
+  const auto cap = [](const auto& v) {
+    return v.capacity() * sizeof(v[0]);
+  };
+  return cap(ws.arena) + cap(ws.parent) + cap(ws.edge_class) +
+         cap(ws.node_w) + cap(ws.level) + cap(ws.next_level) + cap(ws.slots) +
+         cap(ws.cls_ok) + cap(ws.cls_free) + cap(ws.cls_w) + cap(ws.scratch) +
+         cap(ws.order) + cap(ws.class_members) + cap(ws.class_begin) +
+         cap(ws.class_cursor) + cap(ws.class_choice) + cap(ws.next_free);
+}
+
 struct DpOptions {
   /// 0 = unlimited-segment routing (Problem 1); K > 0 = K-segment routing
   /// (Problem 2).

@@ -5,6 +5,8 @@
 #include <set>
 #include <type_traits>
 
+#include "obs/instrument.h"
+
 namespace segroute::alg {
 
 namespace {
@@ -61,8 +63,10 @@ GeneralizedRouteResult generalized_dp_route(const SegmentedChannel& ch,
                                             const GeneralizedDpOptions& opts) {
   GeneralizedRouteResult res;
   res.routing = GeneralizedRouting(cs.size());
+  SEGROUTE_SPAN(gdp_span, "alg.generalized_dp_route");
   if (cs.max_right() > ch.width()) {
     res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
+    SEGROUTE_SPAN_TAG(gdp_span, "outcome", to_string(res.failure));
     return res;
   }
   harness::BudgetMeter meter(opts.budget);
@@ -103,14 +107,32 @@ GeneralizedRouteResult generalized_dp_route(const SegmentedChannel& ch,
   std::vector<std::int64_t> level = {0};
   res.stats.nodes_per_level.push_back(1);
 
-  // Consistent stats on every exit, including partially built levels.
-  auto finalize_stats = [&res, &parent] {
+  // Dedup hits accumulate in a plain local, flushed once per call.
+  std::uint64_t dedup_hits = 0;
+
+  // Consistent stats on every exit, including partially built levels;
+  // also the single observability flush point for this call.
+  auto finalize_stats = [&] {
     res.stats.total_nodes = parent.size();
     res.stats.max_level_nodes =
         res.stats.nodes_per_level.empty()
             ? 0
             : *std::max_element(res.stats.nodes_per_level.begin(),
                                 res.stats.nodes_per_level.end());
+    SEGROUTE_COUNT("gdp.routes", 1);
+    SEGROUTE_COUNT("gdp.nodes_created", res.stats.total_nodes);
+    SEGROUTE_COUNT("gdp.dedup_hits", dedup_hits);
+    SEGROUTE_GAUGE_MAX("gdp.frontier_high_water", res.stats.max_level_nodes);
+    SEGROUTE_GAUGE_MAX("gdp.arena_high_water_bytes",
+                       arena.capacity() * sizeof(Entry));
+    for (std::size_t n : res.stats.nodes_per_level) {
+      SEGROUTE_HIST("gdp.level_nodes", n,
+                    {1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 16384});
+    }
+    SEGROUTE_SPAN_TAG(gdp_span, "outcome",
+                      res.failure == FailureKind::kNone
+                          ? "success"
+                          : to_string(res.failure));
   };
 
   // Per-level per-track tables: the segment lookup at the unit's column
@@ -255,6 +277,7 @@ GeneralizedRouteResult generalized_dp_route(const SegmentedChannel& ch,
           }
           if (std::memcmp(arena.data() + static_cast<std::size_t>(s) * Ts,
                           scratch.data(), Ts * sizeof(Entry)) == 0) {
+            ++dedup_hits;
             break;
           }
           pos = (pos + 1) & mask;

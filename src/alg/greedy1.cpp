@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "core/routing.h"
+#include "obs/instrument.h"
 
 namespace segroute::alg {
 
@@ -11,13 +12,18 @@ RouteResult greedy1_route_traced(const SegmentedChannel& ch,
                                  TieBreak tie, const RouteContext& ctx) {
   RouteResult res;
   res.routing = Routing(cs.size());
+  SEGROUTE_SPAN(g1_span, "alg.greedy1_route");
   if (trace) {
     trace->segment_of.assign(static_cast<std::size_t>(cs.size()), -1);
   }
   if (cs.max_right() > ch.width()) {
     res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
+    SEGROUTE_SPAN_TAG(g1_span, "outcome", to_string(res.failure));
     return res;
   }
+  // Candidate tracks rejected (multi-segment span or occupied), flushed
+  // once at exit.
+  std::uint64_t rejected = 0;
   const ChannelIndex* idx = ctx.index;
   std::optional<Occupancy> local_occ;
   Occupancy& occ = ctx.occupancy ? *ctx.occupancy : local_occ.emplace(ch);
@@ -37,8 +43,14 @@ RouteResult greedy1_route_traced(const SegmentedChannel& ch,
         a = sa;
         b = sb;
       }
-      if (a != b) continue;                      // needs more than one segment
-      if (occ.occupant(t, a) != kNoConn) continue;  // already taken
+      if (a != b) {  // needs more than one segment
+        ++rejected;
+        continue;
+      }
+      if (occ.occupant(t, a) != kNoConn) {  // already taken
+        ++rejected;
+        continue;
+      }
       const Column r = idx ? idx->seg_right(t, a) : ch.track(t).segment(a).right;
       const bool better =
           best == kNoTrack || r < best_right ||
@@ -53,6 +65,8 @@ RouteResult greedy1_route_traced(const SegmentedChannel& ch,
       res.fail(FailureKind::kInfeasible,
                "no single unoccupied segment can hold connection " +
                    std::to_string(i));
+      SEGROUTE_COUNT("greedy1.candidates_rejected", rejected);
+      SEGROUTE_SPAN_TAG(g1_span, "outcome", to_string(res.failure));
       return res;
     }
     occ.place(best, c.left, c.right, i);
@@ -60,6 +74,9 @@ RouteResult greedy1_route_traced(const SegmentedChannel& ch,
     if (trace) trace->segment_of[static_cast<std::size_t>(i)] = best_seg;
   }
   res.success = true;
+  SEGROUTE_COUNT("greedy1.candidates_rejected", rejected);
+  SEGROUTE_COUNT("greedy1.placements", cs.size());
+  SEGROUTE_SPAN_TAG(g1_span, "outcome", "success");
   return res;
 }
 

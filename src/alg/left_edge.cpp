@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/routing.h"
+#include "obs/instrument.h"
 
 namespace segroute::alg {
 
@@ -15,14 +16,17 @@ RouteResult left_edge_route(const SegmentedChannel& ch, const ConnectionSet& cs,
   }
   RouteResult res;
   res.routing = Routing(cs.size());
+  SEGROUTE_SPAN(le_span, "alg.left_edge_route");
   if (cs.max_right() > ch.width()) {
     res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
+    SEGROUTE_SPAN_TAG(le_span, "outcome", to_string(res.failure));
     return res;
   }
   const ChannelIndex* idx = ctx.index;
   std::optional<Occupancy> local_occ;
   Occupancy& occ = ctx.occupancy ? *ctx.occupancy : local_occ.emplace(ch);
   if (ctx.occupancy) occ.reset();
+  std::uint64_t probes = 0;  // occupied-track placement attempts, flushed once
   for (ConnId i : cs.sorted_by_left()) {
     const Connection& c = cs[i];
     const int spanned0 =
@@ -34,6 +38,8 @@ RouteResult left_edge_route(const SegmentedChannel& ch, const ConnectionSet& cs,
       res.fail(FailureKind::kInfeasible,
                "connection " + std::to_string(i) + " needs more than " +
                    std::to_string(max_segments) + " segments in every track");
+      SEGROUTE_COUNT("left_edge.occupied_probes", probes);
+      SEGROUTE_SPAN_TAG(le_span, "outcome", to_string(res.failure));
       return res;
     }
     bool placed = false;
@@ -43,14 +49,20 @@ RouteResult left_edge_route(const SegmentedChannel& ch, const ConnectionSet& cs,
         placed = true;
         break;
       }
+      ++probes;
     }
     if (!placed) {
       res.fail(FailureKind::kInfeasible,
                "no free track for connection " + std::to_string(i));
+      SEGROUTE_COUNT("left_edge.occupied_probes", probes);
+      SEGROUTE_SPAN_TAG(le_span, "outcome", to_string(res.failure));
       return res;
     }
   }
   res.success = true;
+  SEGROUTE_COUNT("left_edge.occupied_probes", probes);
+  SEGROUTE_COUNT("left_edge.placements", cs.size());
+  SEGROUTE_SPAN_TAG(le_span, "outcome", "success");
   return res;
 }
 

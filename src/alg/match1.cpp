@@ -5,6 +5,7 @@
 
 #include "match/hopcroft_karp.h"
 #include "match/hungarian.h"
+#include "obs/instrument.h"
 
 namespace segroute::alg {
 
@@ -65,30 +66,44 @@ RouteResult match1_route(const SegmentedChannel& ch, const ConnectionSet& cs,
                          const RouteContext& ctx) {
   RouteResult res;
   res.routing = Routing(cs.size());
+  SEGROUTE_SPAN(m1_span, "alg.match1_route");
   if (cs.max_right() > ch.width()) {
     res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
+    SEGROUTE_SPAN_TAG(m1_span, "outcome", to_string(res.failure));
     return res;
   }
   FlatSegs idx(ch, ctx.index);
   match::BipartiteGraph g(cs.size(), idx.total());
-  for (ConnId i = 0; i < cs.size(); ++i) {
-    const Connection& c = cs[i];
-    for (TrackId t = 0; t < ch.num_tracks(); ++t) {
-      auto [a, b] = idx.span(ch, t, c.left, c.right);
-      if (a == b) g.add_edge(i, idx.flat(t, a));
+  std::uint64_t edges = 0;
+  {
+    SEGROUTE_SPAN(build_span, "match1.build_graph");
+    for (ConnId i = 0; i < cs.size(); ++i) {
+      const Connection& c = cs[i];
+      for (TrackId t = 0; t < ch.num_tracks(); ++t) {
+        auto [a, b] = idx.span(ch, t, c.left, c.right);
+        if (a == b) {
+          g.add_edge(i, idx.flat(t, a));
+          ++edges;
+        }
+      }
     }
   }
+  SEGROUTE_COUNT("match1.graph_edges", edges);
+  SEGROUTE_SPAN(match_span, "match1.matching");
   const auto m = match::hopcroft_karp(g);
+  SEGROUTE_SPAN_TAG(match_span, "matched", static_cast<std::uint64_t>(m.size));
   if (m.size != cs.size()) {
     res.fail(FailureKind::kInfeasible,
              "maximum matching covers only " + std::to_string(m.size) +
                  " of " + std::to_string(cs.size()) + " connections");
+    SEGROUTE_SPAN_TAG(m1_span, "outcome", to_string(res.failure));
     return res;
   }
   for (ConnId i = 0; i < cs.size(); ++i) {
     res.routing.assign(i, idx.track_of_flat(m.match_left[static_cast<std::size_t>(i)]));
   }
   res.success = true;
+  SEGROUTE_SPAN_TAG(m1_span, "outcome", "success");
   return res;
 }
 

@@ -95,6 +95,14 @@ class Occupancy {
     return occ_[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)];
   }
 
+  /// Heap bytes retained by the workspace (row capacities, not sizes) —
+  /// observability for long-lived reusable instances.
+  [[nodiscard]] std::size_t bytes_held() const {
+    std::size_t bytes = occ_.capacity() * sizeof(occ_[0]);
+    for (const auto& row : occ_) bytes += row.capacity() * sizeof(ConnId);
+    return bytes;
+  }
+
  private:
   const SegmentedChannel* ch_;
   std::vector<std::vector<ConnId>> occ_;  // per track, per segment

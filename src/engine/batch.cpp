@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "engine/scratch.h"
+#include "obs/instrument.h"
 
 namespace segroute::engine {
 
@@ -99,11 +100,17 @@ alg::RouteResult BatchRouter::route_one(const ConnectionSet& cs,
   dp_opts.budget = budget;
   dp_opts.index = &index_;
   dp_opts.workspace = &scratch.dp();
-  return alg::dp_route(*ch_, cs, dp_opts);
+  alg::RouteResult res = alg::dp_route(*ch_, cs, dp_opts);
+  // The DP workspace grows during the route; record the retained
+  // high-water mark after the fact.
+  SEGROUTE_GAUGE_MAX("engine.scratch.bytes_held", scratch.bytes_held());
+  return res;
 }
 
 alg::RouteResult BatchRouter::route(const ConnectionSet& cs,
                                     const EngineRouteOptions& opts) {
+  SEGROUTE_SPAN(route_span, "engine.route", "fingerprint",
+                index_.fingerprint());
   const bool pure = opts.budget.unlimited();
   if (!opts_.use_cache || !pure || opts_.cache_capacity == 0) {
     return route_one(cs, opts, opts.budget);
@@ -115,10 +122,12 @@ alg::RouteResult BatchRouter::route(const ConnectionSet& cs,
     if (it != by_key_.end()) {
       ++hits_;
       entries_.splice(entries_.begin(), entries_, it->second);  // touch
+      SEGROUTE_COUNT("engine.cache.hits", 1);
       return it->second->result;
     }
     ++misses_;
   }
+  SEGROUTE_COUNT("engine.cache.misses", 1);
   alg::RouteResult res = route_one(cs, opts, opts.budget);
   if (cacheable(res)) {
     std::lock_guard<std::mutex> lock(cache_mu_);
@@ -132,6 +141,7 @@ alg::RouteResult BatchRouter::route(const ConnectionSet& cs,
         by_key_.erase(entries_.back().key);
         entries_.pop_back();
         ++evictions_;
+        SEGROUTE_COUNT("engine.cache.evictions", 1);
       }
     }
   }

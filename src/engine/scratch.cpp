@@ -1,5 +1,7 @@
 #include "engine/scratch.h"
 
+#include "obs/instrument.h"
+
 namespace segroute::engine {
 
 Occupancy& Scratch::occupancy_for(const SegmentedChannel& ch,
@@ -12,7 +14,15 @@ Occupancy& Scratch::occupancy_for(const SegmentedChannel& ch,
     // fingerprint collision still rebuilds correctly.
     occ_->rebind(ch);
   }
+  if (occ_fp_ != fingerprint) {
+    ++rebinds_;
+    SEGROUTE_COUNT("engine.scratch.rebinds", 1);
+    // Lossy by design: a double holds 53 of the 64 fingerprint bits.
+    // Scratch::fingerprint() has the exact value.
+    SEGROUTE_GAUGE_SET("engine.scratch.fingerprint", fingerprint);
+  }
   occ_fp_ = fingerprint;
+  SEGROUTE_GAUGE_MAX("engine.scratch.bytes_held", bytes_held());
   return *occ_;
 }
 

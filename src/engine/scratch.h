@@ -47,9 +47,27 @@ class Scratch {
   /// The thread's reusable DP workspace (see alg::DpWorkspace).
   [[nodiscard]] alg::DpWorkspace& dp() { return dp_; }
 
+  /// Heap bytes currently retained across both workspaces (capacities,
+  /// not sizes): the arena high-water mark this thread holds between
+  /// routes. Zero until the first occupancy_for / dp() use.
+  [[nodiscard]] std::size_t bytes_held() const {
+    return (occ_ ? occ_->bytes_held() : 0) + alg::workspace_bytes(dp_);
+  }
+
+  /// Times occupancy_for() saw a different channel fingerprint than the
+  /// previous call (including the first bind). Steady-state batch runs
+  /// stay at 1.
+  [[nodiscard]] std::uint64_t rebind_count() const { return rebinds_; }
+
+  /// Fingerprint of the channel the occupancy workspace is currently
+  /// bound to (0 before the first bind). Exact 64-bit value; the
+  /// `engine.scratch.fingerprint` gauge carries it rounded to double.
+  [[nodiscard]] std::uint64_t fingerprint() const { return occ_fp_; }
+
  private:
   std::optional<Occupancy> occ_;
   std::uint64_t occ_fp_ = 0;
+  std::uint64_t rebinds_ = 0;
   alg::DpWorkspace dp_;
 };
 

@@ -21,6 +21,7 @@
 #include "alg/match1.h"
 #include "core/channel_index.h"
 #include "engine/scratch.h"
+#include "obs/instrument.h"
 
 namespace segroute::harness {
 
@@ -189,6 +190,7 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
 
   RouteReport report;
   report.routing = Routing(cs.size());
+  SEGROUTE_SPAN(route_span, "robust.route");
 
   // Fault injection: route on the surviving channel.
   const SegmentedChannel* substrate = &ch;
@@ -201,6 +203,7 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
       report.failure = FailureKind::kInfeasible;
       report.note = "fault injection removed every track (total outage)";
       report.elapsed_ms = ms_since(t0);
+      SEGROUTE_SPAN_TAG(route_span, "outcome", to_string(report.failure));
       return report;
     }
     report.switches_fused = degraded->switches_fused;
@@ -257,6 +260,11 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
 
     const auto race_one = [&](std::size_t k) {
       const StageSpec& spec = cascade[k];
+      // Named by the stage (static string) so the race lanes read
+      // directly in a trace viewer; re-tagged with the outcome below.
+      SEGROUTE_SPAN(stage_span, to_string(spec.stage), "stage",
+                    to_string(spec.stage));
+      bool won = false;
       StageReport sr;
       sr.stage = spec.stage;
       sr.attempted = true;
@@ -304,6 +312,7 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
               best_routing = r.routing;
               best_stage = spec.stage;
               have_candidate = true;
+              won = true;
               race_stop.store(true, std::memory_order_relaxed);
             }
           } else {
@@ -312,6 +321,7 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
               best_weight = w;
               best_stage = spec.stage;
               have_candidate = true;
+              won = true;
             }
             if (exact_optimal(spec.stage, opts, r)) {
               race_stop.store(true, std::memory_order_relaxed);
@@ -324,12 +334,25 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
           proven_infeasible = true;
           proven_stage = spec.stage;
           proven_note = sr.note;
+          won = true;  // the race ends on this stage's proof
         }
         race_stop.store(true, std::memory_order_relaxed);
       }
+      SEGROUTE_SPAN_TAG(stage_span, "outcome",
+                        sr.success ? "success" : to_string(sr.failure));
+      // Winner/loser annotation while the stage span is still open, so
+      // the instant nests under it in the trace. In optimizing mode
+      // "winner" means "took (or kept) the lead when it finished".
+      SEGROUTE_INSTANT(won ? "robust.race.winner" : "robust.race.loser",
+                       "stage", to_string(spec.stage));
       srs[k] = std::move(sr);  // distinct slot per stage, no lock needed
     };
 
+    if (opts.deadline) {
+      SEGROUTE_GAUGE_SET(
+          "robust.budget_remaining_ms",
+          (std::chrono::duration<double, std::milli>(*opts.deadline).count()));
+    }
     util::ThreadPool pool(static_cast<int>(cascade.size()));
     pool.parallel_for(static_cast<std::int64_t>(cascade.size()),
                       [&](std::int64_t k) {
@@ -341,6 +364,8 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
   } else
   for (std::size_t k = 0; k < cascade.size(); ++k) {
     const StageSpec& spec = cascade[k];
+    SEGROUTE_SPAN(stage_span, to_string(spec.stage), "stage",
+                  to_string(spec.stage));
     StageReport sr;
     sr.stage = spec.stage;
 
@@ -351,9 +376,14 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
     if (overall_deadline) {
       const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
           *overall_deadline - Clock::now());
+      // Stage-boundary sample of the time budget still unspent.
+      SEGROUTE_GAUGE_SET("robust.budget_remaining_ms",
+                         std::max<std::chrono::milliseconds::rep>(
+                             0, remaining.count()));
       if (remaining.count() <= 0) {
         sr.failure = FailureKind::kBudgetExhausted;
         sr.note = "overall deadline exhausted before stage started";
+        SEGROUTE_SPAN_TAG(stage_span, "outcome", to_string(sr.failure));
         report.stages.push_back(std::move(sr));
         continue;
       }
@@ -395,6 +425,7 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
           w = total_weight(*substrate, cs, r.routing, *opts.weight);
         }
         sr.weight = w;
+        SEGROUTE_SPAN_TAG(stage_span, "outcome", "success");
         if (!opts.weight) {
           // Feasibility mode: first verified routing wins.
           best_routing = r.routing;
@@ -418,9 +449,12 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
       proven_infeasible = true;
       proven_stage = spec.stage;
       proven_note = sr.note;
+      SEGROUTE_SPAN_TAG(stage_span, "outcome", to_string(sr.failure));
       report.stages.push_back(std::move(sr));
       break;
     }
+    SEGROUTE_SPAN_TAG(stage_span, "outcome",
+                      sr.success ? "success" : to_string(sr.failure));
     report.stages.push_back(std::move(sr));
   }
 
@@ -439,6 +473,7 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
       report.routing = mapped;
     }
     report.note = std::string("routed by stage ") + to_string(best_stage);
+    SEGROUTE_INSTANT("robust.winner", "stage", to_string(best_stage));
   } else if (proven_infeasible) {
     report.failure = FailureKind::kInfeasible;
     report.note = "proven infeasible by stage " +
@@ -470,6 +505,8 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
                         : "empty cascade";
     }
   }
+  SEGROUTE_SPAN_TAG(route_span, "outcome",
+                    report.success ? "success" : to_string(report.failure));
   report.elapsed_ms = ms_since(t0);
   return report;
 }

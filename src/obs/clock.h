@@ -1,0 +1,30 @@
+// Monotonic time source for the observability layer.
+//
+// Everything in obs/ timestamps against one steady clock, read as
+// integer nanoseconds: spans subtract two readings, the trace exporter
+// rescales to the microseconds Chrome's trace viewer expects. Kept in
+// its own header so instrumented code pulls in <chrono> and nothing
+// else.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace segroute::obs {
+
+/// Nanoseconds on the process-wide monotonic clock. Comparable across
+/// threads; meaningless across processes.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Nanoseconds -> the fractional microseconds of Chrome's trace_event
+/// "ts"/"dur" fields.
+inline double ns_to_trace_us(std::uint64_t ns) {
+  return static_cast<double>(ns) / 1000.0;
+}
+
+}  // namespace segroute::obs

@@ -1,0 +1,132 @@
+// Instrumentation entry points for library code.
+//
+// Every span/metric update in the routers, the engine, the pool and the
+// harness goes through these macros, never through obs/span.h or
+// obs/metrics.h directly. With SEGROUTE_OBS_ENABLED=1 (the default; see
+// the SEGROUTE_OBS CMake option) they expand to the real thing:
+// counters and gauges resolve their registry entry once into a function-
+// local static reference, so the steady-state cost of an update is one
+// relaxed atomic op; spans cost one relaxed load when no TraceSession is
+// active. With SEGROUTE_OBS_ENABLED=0 they compile to nothing — the
+// argument expressions are type-checked but never evaluated, so the OFF
+// build is bit-identical in behavior and carries zero observability
+// code in the hot paths.
+//
+// Tag/name strings passed to spans must have static storage duration
+// (string literals, to_string(enum) results).
+#pragma once
+
+#ifndef SEGROUTE_OBS_ENABLED
+#define SEGROUTE_OBS_ENABLED 1
+#endif
+
+#if SEGROUTE_OBS_ENABLED
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+/// Declares an RAII span named `var` for the enclosing scope.
+/// Usage: SEGROUTE_SPAN(span, "alg.dp_route");
+///        SEGROUTE_SPAN(span, "robust.stage", "stage", to_string(s));
+#define SEGROUTE_SPAN(var, ...) ::segroute::obs::Span var{__VA_ARGS__}
+
+/// Sets/overwrites the tag on a span declared with SEGROUTE_SPAN.
+#define SEGROUTE_SPAN_TAG(var, key, value) (var).tag((key), (value))
+
+/// Records a zero-duration instant event.
+#define SEGROUTE_INSTANT(...) ::segroute::obs::instant(__VA_ARGS__)
+
+/// Adds `n` to the named process-wide counter.
+#define SEGROUTE_COUNT(name, n)                                            \
+  do {                                                                     \
+    static ::segroute::obs::Counter& seg_obs_c_ =                          \
+        ::segroute::obs::Registry::instance().counter(name);               \
+    seg_obs_c_.add(static_cast<std::uint64_t>(n));                         \
+  } while (0)
+
+/// Sets the named gauge to `v`.
+#define SEGROUTE_GAUGE_SET(name, v)                                        \
+  do {                                                                     \
+    static ::segroute::obs::Gauge& seg_obs_g_ =                            \
+        ::segroute::obs::Registry::instance().gauge(name);                 \
+    seg_obs_g_.set(static_cast<double>(v));                                \
+  } while (0)
+
+/// Raises the named gauge to `v` if larger (high-water marks).
+#define SEGROUTE_GAUGE_MAX(name, v)                                        \
+  do {                                                                     \
+    static ::segroute::obs::Gauge& seg_obs_g_ =                            \
+        ::segroute::obs::Registry::instance().gauge(name);                 \
+    seg_obs_g_.set_max(static_cast<double>(v));                            \
+  } while (0)
+
+/// Observes `v` in the named histogram; the bucket upper bounds
+/// (ascending) are fixed on first use.
+/// Usage: SEGROUTE_HIST("dp.level_nodes", n, {1, 4, 16, 64, 256, 1024});
+#define SEGROUTE_HIST(name, v, ...)                                        \
+  do {                                                                     \
+    static ::segroute::obs::Histogram& seg_obs_h_ =                        \
+        ::segroute::obs::Registry::instance().histogram(                   \
+            name, std::vector<double> __VA_ARGS__);                        \
+    seg_obs_h_.observe(static_cast<double>(v));                            \
+  } while (0)
+
+#else  // SEGROUTE_OBS_ENABLED == 0
+
+namespace segroute::obs {
+
+/// Stand-in for obs::Span when observability is compiled out: accepts
+/// and ignores the same construction and tag() shapes. The arguments
+/// appear inside `if constexpr (false)` at the call sites, so they are
+/// type-checked but never evaluated.
+struct NoopSpan {
+  constexpr NoopSpan() = default;
+  template <typename... A>
+  constexpr void tag(A&&...) const {}
+  [[nodiscard]] static constexpr bool active() { return false; }
+  [[nodiscard]] static constexpr unsigned long long id() { return 0; }
+};
+
+template <typename... A>
+constexpr void noop_sink(A&&...) {}
+
+}  // namespace segroute::obs
+
+#define SEGROUTE_SPAN(var, ...)                                            \
+  ::segroute::obs::NoopSpan var{};                                         \
+  if constexpr (false) ::segroute::obs::noop_sink(__VA_ARGS__)
+
+#define SEGROUTE_SPAN_TAG(var, key, value)                                 \
+  do {                                                                     \
+    if constexpr (false) ::segroute::obs::noop_sink((var), (key), (value)); \
+  } while (0)
+
+#define SEGROUTE_INSTANT(...)                                              \
+  do {                                                                     \
+    if constexpr (false) ::segroute::obs::noop_sink(__VA_ARGS__);          \
+  } while (0)
+
+#define SEGROUTE_COUNT(name, n)                                            \
+  do {                                                                     \
+    if constexpr (false) ::segroute::obs::noop_sink((name), (n));          \
+  } while (0)
+
+#define SEGROUTE_GAUGE_SET(name, v)                                        \
+  do {                                                                     \
+    if constexpr (false) ::segroute::obs::noop_sink((name), (v));          \
+  } while (0)
+
+#define SEGROUTE_GAUGE_MAX(name, v)                                        \
+  do {                                                                     \
+    if constexpr (false) ::segroute::obs::noop_sink((name), (v));          \
+  } while (0)
+
+#define SEGROUTE_HIST(name, v, ...)                                        \
+  do {                                                                     \
+    if constexpr (false) ::segroute::obs::noop_sink((name), (v));          \
+  } while (0)
+
+#endif  // SEGROUTE_OBS_ENABLED

@@ -1,0 +1,270 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "io/json.h"
+#include "obs/clock.h"
+
+namespace segroute::obs {
+
+namespace {
+
+// Session globals. The active session is published as a pointer for
+// identity only; everything the record path needs (epoch, capacity) is
+// mirrored into its own atomic so no thread ever dereferences a session
+// that might be mid-destruction.
+std::atomic<TraceSession*> g_active{nullptr};
+std::atomic<std::uint64_t> g_epoch{0};
+std::atomic<std::size_t> g_capacity{0};
+std::atomic<std::uint64_t> g_next_id{1};
+
+/// Per-thread event buffer. Registered once, never deallocated (bounded
+/// by the number of threads ever traced). The mutex is uncontended on
+/// the append path — only the owning thread appends; it exists so the
+/// draining thread's reads are data-race-free.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint64_t epoch = 0;
+  std::uint64_t dropped = 0;
+  std::uint32_t tid = 0;
+};
+
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<ThreadBuffer*> buffers;
+};
+
+BufferRegistry& registry() {
+  static BufferRegistry* reg = new BufferRegistry();
+  return *reg;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBuffer* buf = [] {
+    auto* b = new ThreadBuffer();  // leaked: outlives the thread for drains
+    BufferRegistry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    b->tid = static_cast<std::uint32_t>(reg.buffers.size());
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+/// Innermost open span id on this thread (0 = none).
+thread_local std::uint64_t t_open_parent = 0;
+
+void append(const TraceEvent& ev) {
+  if (g_active.load(std::memory_order_acquire) == nullptr) return;
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+  ThreadBuffer& buf = thread_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.epoch != epoch) {
+    buf.events.clear();
+    buf.dropped = 0;
+    buf.epoch = epoch;
+    buf.events.reserve(g_capacity.load(std::memory_order_relaxed));
+  }
+  if (buf.events.size() < buf.events.capacity()) {
+    buf.events.push_back(ev);
+    buf.events.back().tid = buf.tid;
+  } else {
+    ++buf.dropped;
+  }
+}
+
+}  // namespace
+
+bool tracing_active() {
+  return g_active.load(std::memory_order_relaxed) != nullptr;
+}
+
+// --- Span ------------------------------------------------------------------
+
+Span::Span(const char* name) : name_(name) {
+  if (g_active.load(std::memory_order_relaxed) == nullptr) return;
+  active_ = true;
+  id_ = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = t_open_parent;
+  t_open_parent = id_;
+  start_ns_ = now_ns();
+}
+
+Span::Span(const char* name, const char* tag_key, const char* tag_value)
+    : Span(name) {
+  tag_key_ = tag_key;
+  tag_str_ = tag_value;
+}
+
+Span::Span(const char* name, const char* tag_key, std::uint64_t tag_value)
+    : Span(name) {
+  tag_key_ = tag_key;
+  tag_u64_ = tag_value;
+}
+
+void Span::tag(const char* key, const char* value) {
+  tag_key_ = key;
+  tag_str_ = value;
+}
+
+void Span::tag(const char* key, std::uint64_t value) {
+  tag_key_ = key;
+  tag_str_ = nullptr;
+  tag_u64_ = value;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  t_open_parent = parent_;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.tag_key = tag_key_;
+  ev.tag_str = tag_str_;
+  ev.tag_u64 = tag_u64_;
+  ev.start_ns = start_ns_;
+  ev.end_ns = now_ns();
+  ev.id = id_;
+  ev.parent = parent_;
+  append(ev);
+}
+
+// --- Instants --------------------------------------------------------------
+
+namespace {
+
+void instant_impl(const char* name, const char* key, const char* sval,
+                  std::uint64_t uval) {
+  if (g_active.load(std::memory_order_relaxed) == nullptr) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.tag_key = key;
+  ev.tag_str = sval;
+  ev.tag_u64 = uval;
+  ev.start_ns = ev.end_ns = now_ns();
+  ev.id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  ev.parent = t_open_parent;
+  ev.instant = true;
+  append(ev);
+}
+
+}  // namespace
+
+void instant(const char* name) { instant_impl(name, nullptr, nullptr, 0); }
+void instant(const char* name, const char* tag_key, const char* tag_value) {
+  instant_impl(name, tag_key, tag_value, 0);
+}
+void instant(const char* name, const char* tag_key, std::uint64_t tag_value) {
+  instant_impl(name, tag_key, nullptr, tag_value);
+}
+
+// --- TraceSession ----------------------------------------------------------
+
+TraceSession::TraceSession(std::size_t capacity_per_thread)
+    : capacity_(capacity_per_thread == 0 ? 1 : capacity_per_thread) {}
+
+TraceSession::~TraceSession() { stop(); }
+
+namespace {
+
+/// Serializes start/stop transitions (rare) so the epoch can only move
+/// while no session is active — recorders never see a new epoch under
+/// an old session.
+std::mutex& session_mutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+}  // namespace
+
+bool TraceSession::start() {
+  std::lock_guard<std::mutex> lock(session_mutex());
+  if (g_active.load(std::memory_order_relaxed) != nullptr) return false;
+  // Publish epoch and capacity before the session pointer: a recorder
+  // that sees the pointer (acquire pairs with this release) also sees
+  // the new epoch.
+  g_epoch.fetch_add(1, std::memory_order_relaxed);
+  g_capacity.store(capacity_, std::memory_order_relaxed);
+  start_ns_ = now_ns();
+  events_.clear();
+  dropped_ = 0;
+  g_active.store(this, std::memory_order_release);
+  return true;
+}
+
+bool TraceSession::active() const {
+  return g_active.load(std::memory_order_relaxed) == this;
+}
+
+void TraceSession::stop() {
+  std::lock_guard<std::mutex> session_lock(session_mutex());
+  if (g_active.load(std::memory_order_relaxed) != this) {
+    return;  // not the active session (already stopped, or never started)
+  }
+  g_active.store(nullptr, std::memory_order_release);
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_relaxed);
+  BufferRegistry& reg = registry();
+  std::vector<ThreadBuffer*> bufs;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    bufs = reg.buffers;
+  }
+  for (ThreadBuffer* buf : bufs) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    if (buf->epoch != epoch) continue;
+    events_.insert(events_.end(), buf->events.begin(), buf->events.end());
+    dropped_ += buf->dropped;
+    buf->events.clear();
+    buf->events.shrink_to_fit();
+    buf->dropped = 0;
+  }
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                                     : a.id < b.id;
+                   });
+}
+
+void TraceSession::write_chrome_trace(std::ostream& os) const {
+  os << "{\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& ev = events_[i];
+    const std::uint64_t rel =
+        ev.start_ns >= start_ns_ ? ev.start_ns - start_ns_ : 0;
+    os << "  {\"name\": \"" << io::json_escape(ev.name)
+       << "\", \"cat\": \"segroute\", \"ph\": \""
+       << (ev.instant ? "i" : "X") << "\", \"pid\": 1, \"tid\": " << ev.tid
+       << ", \"ts\": " << ns_to_trace_us(rel);
+    if (ev.instant) {
+      os << ", \"s\": \"t\"";
+    } else {
+      os << ", \"dur\": " << ns_to_trace_us(ev.end_ns - ev.start_ns);
+    }
+    os << ", \"args\": {\"id\": " << ev.id << ", \"parent\": " << ev.parent;
+    if (ev.tag_key != nullptr) {
+      os << ", \"" << io::json_escape(ev.tag_key) << "\": ";
+      if (ev.tag_str != nullptr) {
+        os << "\"" << io::json_escape(ev.tag_str) << "\"";
+      } else {
+        // As a string: u64 tags (fingerprints) can exceed the 2^53
+        // integer range JSON consumers preserve.
+        os << "\"" << ev.tag_u64 << "\"";
+      }
+    }
+    os << "}}" << (i + 1 < events_.size() ? "," : "") << "\n";
+  }
+  os << "]}\n";
+}
+
+std::string TraceSession::chrome_trace_json() const {
+  std::ostringstream os;
+  write_chrome_trace(os);
+  return os.str();
+}
+
+}  // namespace segroute::obs

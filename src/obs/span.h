@@ -1,0 +1,134 @@
+// RAII trace spans on the monotonic clock, drained to Chrome trace JSON.
+//
+// A Span marks a region of one thread's execution. While a TraceSession
+// is active, constructing a Span assigns it an id, links it to the
+// innermost open span on the same thread (parent id), and its destructor
+// appends one fixed-size record to the thread's buffer. With no active
+// session the constructor is one relaxed atomic load and the destructor
+// nothing — spans can stay in production code permanently.
+//
+// Records carry at most one tag (key + static-string or integer value):
+// enough for "outcome: infeasible" / "fingerprint: 0x…" style
+// annotations without ever allocating. Name, category and tag strings
+// must have static storage duration — they are stored as pointers and
+// read at drain time.
+//
+// Buffers are per-thread (registered on first use, never deallocated)
+// and fixed-capacity: when a thread exceeds the session's per-thread
+// event capacity further records are dropped and counted, never
+// reallocated mid-measurement. Buffer access is guarded by a per-buffer
+// mutex — uncontended in steady state since only the owning thread
+// appends — which keeps the drain (another thread) data-race-free under
+// TSan.
+//
+// One TraceSession may be active at a time, process-wide. stop() drains
+// every thread buffer; write_chrome_trace() emits the Chrome
+// trace_event JSON ("X" complete events, "i" instants) loadable in
+// chrome://tracing or Perfetto.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace segroute::obs {
+
+/// One completed span or instant, as drained from a thread buffer.
+struct TraceEvent {
+  const char* name = nullptr;      // static string
+  const char* tag_key = nullptr;   // nullptr = untagged
+  const char* tag_str = nullptr;   // static string; nullptr = numeric tag
+  std::uint64_t tag_u64 = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;        // == start_ns for instants
+  std::uint64_t id = 0;            // unique per process run
+  std::uint64_t parent = 0;        // 0 = top-level
+  std::uint32_t tid = 0;           // small per-thread ordinal
+  bool instant = false;
+};
+
+/// True while some TraceSession is recording. One relaxed load.
+bool tracing_active();
+
+/// RAII span. Cheap no-op when no session is active.
+class Span {
+ public:
+  explicit Span(const char* name);
+  Span(const char* name, const char* tag_key, const char* tag_value);
+  Span(const char* name, const char* tag_key, std::uint64_t tag_value);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Sets (or replaces) the tag; e.g. the outcome, known only at the
+  /// end of the region. No-op on an inactive span.
+  void tag(const char* key, const char* value);
+  void tag(const char* key, std::uint64_t value);
+
+  /// Whether this span is recording (a session was active at entry).
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+ private:
+  const char* name_;
+  const char* tag_key_ = nullptr;
+  const char* tag_str_ = nullptr;
+  std::uint64_t tag_u64_ = 0;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  bool active_ = false;
+};
+
+/// Records a zero-duration instant event, parented to the innermost
+/// open span on this thread. No-op without an active session.
+void instant(const char* name);
+void instant(const char* name, const char* tag_key, const char* tag_value);
+void instant(const char* name, const char* tag_key, std::uint64_t tag_value);
+
+/// Collects spans from every thread between start() and stop().
+class TraceSession {
+ public:
+  /// `capacity_per_thread`: event records each thread may hold before
+  /// dropping (fixed; no mid-run reallocation).
+  explicit TraceSession(std::size_t capacity_per_thread = 16384);
+  ~TraceSession();  // stops if still active
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Begins recording. Returns false (and records nothing) if another
+  /// session is already active.
+  bool start();
+
+  /// Ends recording and drains every thread buffer into events().
+  /// Idempotent.
+  void stop();
+
+  [[nodiscard]] bool active() const;
+
+  /// Drained events, available after stop(). Sorted by start time.
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+
+  /// Events dropped across all threads because a buffer filled up.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// Chrome trace_event JSON for the drained events. Timestamps are
+  /// rebased to the session start.
+  [[nodiscard]] std::string chrome_trace_json() const;
+  void write_chrome_trace(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t capacity_per_thread() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t start_ns_ = 0;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace segroute::obs

@@ -59,3 +59,7 @@
 #include "npc/nmts.h"
 #include "npc/propositions.h"
 #include "npc/reduction.h"
+#include "obs/clock.h"
+#include "obs/instrument.h"
+#include "obs/metrics.h"
+#include "obs/span.h"

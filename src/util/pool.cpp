@@ -1,5 +1,8 @@
 #include "util/pool.h"
 
+#include "obs/clock.h"
+#include "obs/instrument.h"
+
 namespace segroute::util {
 
 int resolve_threads(int n) {
@@ -28,12 +31,20 @@ void ThreadPool::run_block(int w) {
   const std::int64_t W = nthreads_;
   const std::int64_t begin = w * n_ / W;
   const std::int64_t end = (w + 1) * n_ / W;
+  SEGROUTE_SPAN(block_span, "pool.block", "worker",
+                static_cast<std::uint64_t>(w));
+#if SEGROUTE_OBS_ENABLED
+  const std::uint64_t busy_start = obs::now_ns();
+#endif
   try {
     for (std::int64_t i = begin; i < end; ++i) (*fn_)(i);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);
     if (!error_) error_ = std::current_exception();
   }
+#if SEGROUTE_OBS_ENABLED
+  SEGROUTE_COUNT("pool.worker_busy_ns", obs::now_ns() - busy_start);
+#endif
 }
 
 void ThreadPool::worker_loop(int w) {
@@ -57,9 +68,18 @@ void ThreadPool::worker_loop(int w) {
 void ThreadPool::parallel_for(std::int64_t n,
                               const std::function<void(std::int64_t)>& fn) {
   if (n <= 0) return;
+  SEGROUTE_COUNT("pool.parallel_for_calls", 1);
+  SEGROUTE_GAUGE_SET("pool.queue_depth", n);
   if (nthreads_ == 1 || n == 1) {
     // Inline fast path: no handoff, exceptions propagate directly.
+#if SEGROUTE_OBS_ENABLED
+    const std::uint64_t busy_start = obs::now_ns();
+#endif
     for (std::int64_t i = 0; i < n; ++i) fn(i);
+#if SEGROUTE_OBS_ENABLED
+    SEGROUTE_COUNT("pool.worker_busy_ns", obs::now_ns() - busy_start);
+#endif
+    SEGROUTE_GAUGE_SET("pool.queue_depth", 0);
     return;
   }
   {
@@ -76,6 +96,7 @@ void ThreadPool::parallel_for(std::int64_t n,
     std::unique_lock<std::mutex> lock(mu_);
     cv_done_.wait(lock, [&] { return pending_ == 0; });
     fn_ = nullptr;
+    SEGROUTE_GAUGE_SET("pool.queue_depth", 0);
     if (error_) {
       std::exception_ptr e = error_;
       error_ = nullptr;

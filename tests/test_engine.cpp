@@ -147,6 +147,56 @@ TEST(Occupancy, ResetAndRebindReuseTheWorkspace) {
   }
 }
 
+TEST(Scratch, SteadyStateHoldsNoNewMemoryAndCountsRebinds) {
+  const auto a = gen::staggered_segmentation(6, 32, 8);
+  const auto b = gen::staggered_segmentation(5, 20, 5);
+  const ChannelIndex ia(a), ib(b);
+  std::mt19937_64 rng(83);
+  std::vector<ConnectionSet> sets;
+  for (int i = 0; i < 4; ++i) {
+    sets.push_back(gen::routable_workload(a, 12, 5.0, rng));
+  }
+
+  Scratch scratch;
+  EXPECT_EQ(scratch.bytes_held(), 0u);
+  EXPECT_EQ(scratch.rebind_count(), 0u);
+  EXPECT_EQ(scratch.fingerprint(), 0u);
+
+  const auto route_all = [&] {
+    alg::DpOptions o;
+    o.weight = weights::occupied_length();
+    o.index = &ia;
+    o.workspace = &scratch.dp();
+    for (const auto& cs : sets) {
+      const auto r = alg::dp_route(a, cs, o);
+      ASSERT_TRUE(r.success);
+    }
+    (void)scratch.occupancy_for(ia);
+  };
+
+  // Warm-up pass grows the arenas; every later pass must reuse them —
+  // the retained capacity (and thus heap traffic) is exactly flat.
+  route_all();
+  const std::size_t warm = scratch.bytes_held();
+  EXPECT_GT(warm, 0u);
+  EXPECT_EQ(scratch.rebind_count(), 1u);  // the first bind
+  EXPECT_EQ(scratch.fingerprint(), ia.fingerprint());
+  for (int pass = 0; pass < 3; ++pass) {
+    route_all();
+    EXPECT_EQ(scratch.bytes_held(), warm) << "pass=" << pass;
+    EXPECT_EQ(scratch.rebind_count(), 1u);
+  }
+
+  // A different channel rebinds (counted) — and returning to the first
+  // rebinds again rather than serving the wrong shape.
+  (void)scratch.occupancy_for(ib);
+  EXPECT_EQ(scratch.rebind_count(), 2u);
+  EXPECT_EQ(scratch.fingerprint(), ib.fingerprint());
+  (void)scratch.occupancy_for(ia);
+  EXPECT_EQ(scratch.rebind_count(), 3u);
+  EXPECT_EQ(scratch.fingerprint(), ia.fingerprint());
+}
+
 TEST(Scratch, OccupancyKeyedByFingerprintIsRebound) {
   const auto a = gen::staggered_segmentation(4, 16, 4);
   const auto b = gen::staggered_segmentation(5, 20, 5);
