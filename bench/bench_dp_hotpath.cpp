@@ -32,7 +32,9 @@
 
 #include "alg/capacity.h"
 #include "alg/dp.h"
+#include "alg/registry.h"
 #include "bench_json.h"
+#include "core/router.h"
 #include "core/weights.h"
 #include "gen/segmentation.h"
 #include "gen/suite.h"
@@ -226,6 +228,44 @@ int main(int argc, char** argv) {
     std::cout << "DRIVER RESULT MISMATCH ACROSS THREAD COUNTS\n";
   }
 
+  // --- Section D: registry sweep -----------------------------------------
+  // Every registered router, dispatched by name on a canary instance that
+  // sits inside all capability envelopes. Times the full registry path
+  // (pre-checks + adapter + route); the "dp" row vs Section A's direct
+  // dp_route rows bounds the dispatch overhead. Coverage: a router whose
+  // adapter breaks shows up here as a failed outcome.
+  bool registry_ok = true;
+  {
+    const SegmentedChannel canary_ch = SegmentedChannel::identical(3, 12, {6});
+    ConnectionSet canary_cs;
+    canary_cs.add(1, 3);
+    canary_cs.add(7, 9);
+    canary_cs.add(4, 6);
+    const ChannelIndex canary_idx(canary_ch);
+    const auto cw = weights::occupied_length();
+    std::cout << "\nregistry sweep (canary instance, by-name dispatch)\n";
+    io::Table rt({"router", "ms/route", "outcome"});
+    for (const alg::RouterEntry& e : alg::registry()) {
+      RouteRequest rq;
+      rq.channel = &canary_ch;
+      rq.connections = &canary_cs;
+      rq.context.index = &canary_idx;
+      if (e.caps.requires_weight) rq.options.weight = cw;
+      alg::RouteResult last;
+      const double ms = time_ms_per_call(
+          [&] { last = alg::route(e, rq); }, /*quick=*/true);
+      if (!last.success) registry_ok = false;
+      rt.add_row({e.name, io::Table::num(ms, 4),
+                  last.success ? "ok" : alg::to_string(last.failure)});
+      rows.push_back({std::string("registry/") + e.name, ms, 0,
+                      last.success, last.weight});
+    }
+    rt.print(std::cout);
+    std::cout << (registry_ok
+                      ? "all registered routers routed the canary\n"
+                      : "REGISTRY COVERAGE FAILURE\n");
+  }
+
   obs_out.finish(std::cout);
 
   // --- JSON emission -----------------------------------------------------
@@ -263,6 +303,10 @@ int main(int argc, char** argv) {
 
   // --- Baseline check ----------------------------------------------------
   int failures = 0;
+  if (!registry_ok) {
+    std::cout << "FAIL: a registered router did not route the canary\n";
+    ++failures;
+  }
   if (!check_path.empty()) {
     std::ifstream in(check_path);
     if (!in) {

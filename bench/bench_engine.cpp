@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "alg/dp.h"
+#include "alg/registry.h"
 #include "bench_json.h"
 #include "core/weights.h"
 #include "engine/batch.h"
@@ -126,11 +127,15 @@ int run_obs_gate(const bench::Baseline* base, const std::vector<PathRow>& rows) 
   //                 observes at flush (the 32-conn bench instances give
   //                 65; charge 80)
   //   engine shell  1 span + 1 gauge (scratch high-water) on top of dp
-  //   cache hit     1 span + 1 counter, nothing else
+  //   registry      1 span ("alg.route") + 1 counter per dispatch — paid
+  //                 by the engine miss path, not by direct free functions
+  //   cache hit     1 span + 1 counter, nothing else (hits bypass the
+  //                 registry dispatcher entirely)
   const double dp_charge =
       span_ns + 3 * count_ns + 2 * gauge_ns + 80 * hist_ns;
   const double direct_ns = dp_charge;
-  const double nocache_ns = dp_charge + span_ns + count_ns + gauge_ns;
+  const double nocache_ns =
+      dp_charge + 2 * span_ns + 2 * count_ns + gauge_ns;
   const double hit_ns = span_ns + count_ns;
 
   int failures = 0;
@@ -329,9 +334,49 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- registry coverage sweep -------------------------------------------
+  // Every registered router, dispatched by name through the same engine
+  // front end, on a canary instance inside every capability envelope
+  // (identical tracks, two segments per track, trivially routable).
+  // Coverage gate: each router returns a structured success — no throws,
+  // no kInternal — so a router that regresses its registry adapter fails
+  // the bench even if no unit test names it.
+  bool coverage_ok = true;
+  io::Table cov_table({"router", "ms/route", "outcome"});
+  {
+    const SegmentedChannel canary_ch = SegmentedChannel::identical(3, 12, {6});
+    ConnectionSet canary_cs;
+    canary_cs.add(1, 3);
+    canary_cs.add(7, 9);
+    canary_cs.add(4, 6);
+    engine::BatchOptions bo;
+    bo.threads = 1;
+    bo.use_cache = false;  // time the dispatch, not the memo cache
+    engine::BatchRouter cov_router(canary_ch, bo);
+    const int cov_reps = quick ? 20 : 200;
+    for (const alg::RouterEntry& e : alg::registry()) {
+      engine::EngineRouteOptions eo;
+      eo.router = e.name;
+      eo.weight = e.caps.requires_weight ? engine::WeightKind::kOccupiedLength
+                                         : engine::WeightKind::kNone;
+      alg::RouteResult last = cov_router.route(canary_cs, eo);
+      const auto t0 = Clock::now();
+      for (int r = 1; r < cov_reps; ++r) {
+        last = cov_router.route(canary_cs, eo);
+      }
+      const double ms = ms_since(t0) / static_cast<double>(cov_reps - 1);
+      const char* outcome = last.success ? "ok" : alg::to_string(last.failure);
+      if (!last.success) coverage_ok = false;
+      cov_table.add_row({e.name, io::Table::num(ms, 4), outcome});
+      rows.push_back({std::string("coverage/") + e.name, ms});
+    }
+  }
+
   std::cout << "\nbatch engine — repeated-route throughput (8 sets x "
             << repeats << " repeats, 1 thread)\n";
   table.print(std::cout);
+  std::cout << "\nregistry coverage (canary instance, engine dispatch)\n";
+  cov_table.print(std::cout);
   std::cout << "cache: " << cache_stats_last.hits << " hits, "
             << cache_stats_last.misses << " misses, "
             << cache_stats_last.evictions << " evictions\n";
@@ -378,6 +423,10 @@ int main(int argc, char** argv) {
   }
   if (!identical_threads) {
     std::cout << "FAIL: route_many results differ across thread counts\n";
+    ++failures;
+  }
+  if (!coverage_ok) {
+    std::cout << "FAIL: a registered router did not route the canary\n";
     ++failures;
   }
   if (!check_path.empty()) {

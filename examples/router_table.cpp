@@ -1,0 +1,11 @@
+// Prints the router registry's capability table (io::Table) — the
+// source of the README's router table. Regenerate with:
+//   ./build/examples/router_table
+#include <iostream>
+
+#include "segroute.h"
+
+int main() {
+  std::cout << segroute::alg::capability_table().str();
+  return 0;
+}

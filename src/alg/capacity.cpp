@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <vector>
 
-#include "alg/dp.h"
+#include "alg/registry.h"
+#include "core/router.h"
 #include "engine/batch.h"
 #include "util/pool.h"
 
@@ -11,15 +12,17 @@ namespace segroute::alg {
 
 namespace {
 
-// Direct (index-free) probe. min_tracks keeps using it because every
-// probe builds a *different* channel, so there is no shared structure
-// for a BatchRouter's index or cache to amortize; the fixed-channel
-// searches below go through the engine instead.
+// Direct (index-free) registry probe. min_tracks keeps using it because
+// every probe builds a *different* channel, so there is no shared
+// structure for a BatchRouter's index or cache to amortize; the
+// fixed-channel searches below go through the engine instead.
 bool routes(const SegmentedChannel& ch, const ConnectionSet& cs,
             const CapacityOptions& opts) {
-  DpOptions o;
-  o.max_segments = opts.max_segments;
-  return dp_route(ch, cs, o).success;
+  RouteRequest rq;
+  rq.channel = &ch;
+  rq.connections = &cs;
+  rq.options.max_segments = opts.max_segments;
+  return route(opts.router, rq).success;
 }
 
 }  // namespace
@@ -142,6 +145,7 @@ int max_routable_prefix(const SegmentedChannel& ch, const ConnectionSet& cs,
   bo.threads = opts.threads;
   engine::BatchRouter router(ch, bo);
   engine::EngineRouteOptions eo;
+  eo.router = opts.router;
   eo.max_segments = opts.max_segments;
   // One bulk slice per probe from the stored vector — not an add()-loop
   // rebuild — so a probe of prefix m costs one O(m) copy.
@@ -220,6 +224,7 @@ double routability(const SegmentedChannel& ch,
   bo.use_cache = false;
   engine::BatchRouter router(ch, bo);
   engine::EngineRouteOptions eo;
+  eo.router = opts.router;
   eo.max_segments = opts.max_segments;
   const std::vector<RouteResult> results = router.route_many(batch, eo);
   int n = 0;

@@ -21,6 +21,7 @@
 #include <functional>
 #include <optional>
 #include <random>
+#include <string>
 
 #include "alg/result.h"
 #include "core/channel.h"
@@ -41,9 +42,18 @@ struct CapacityOptions {
   /// historical behavior), 0 = hardware concurrency, N > 1 = fixed.
   /// Results are bit-identical across all values (see file comment).
   int threads = 1;
+  /// Which registered router (alg::registry() name) answers "does it
+  /// route?" probes. The default exact DP gives true capacities; a
+  /// heuristic (e.g. "lp") trades a possible underestimate for speed —
+  /// sound for the prefix/routability searches because a heuristic
+  /// failure only shrinks the reported capacity, never inflates it.
+  /// Caution with min_tracks: a heuristic probe can break the
+  /// monotonicity that `assume_monotone` exploits.
+  std::string router = "dp";
 };
 
-/// Smallest track count for which `make(t)` routes `cs` (DP router), or
+/// Smallest track count for which `make(t)` routes `cs` (probed with the
+/// registry router named in opts.router, default the exact DP), or
 /// nullopt if none within opts.track_limit. Routability is monotone in
 /// the track count for every factory produced by gen/segmentation.h
 /// (adding a track never removes capacity), so binary search applies —

@@ -1,7 +1,5 @@
 #include "alg/greedy2track.h"
 
-#include <stdexcept>
-
 #include "core/routing.h"
 
 namespace segroute::alg {
@@ -9,12 +7,13 @@ namespace segroute::alg {
 RouteResult greedy2track_route(const SegmentedChannel& ch,
                                const ConnectionSet& cs,
                                std::vector<Greedy2Event>* events) {
-  if (ch.max_segments_per_track() > 2) {
-    throw std::invalid_argument(
-        "greedy2track_route: every track must have at most two segments");
-  }
   RouteResult res;
   res.routing = Routing(cs.size());
+  if (ch.max_segments_per_track() > 2) {
+    res.fail(FailureKind::kInvalidInput,
+             "greedy2track_route: every track must have at most two segments");
+    return res;
+  }
   if (cs.max_right() > ch.width()) {
     res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
     return res;

@@ -27,9 +27,10 @@ struct Greedy2Event {
 };
 
 /// Greedy router for channels with at most two segments per track
-/// (Problem 1). Throws std::invalid_argument if some track has more than
-/// two segments. Finds a routing whenever one exists (Theorem 4).
-/// `events`, if non-null, receives the execution trace.
+/// (Problem 1). Rejects channels where some track has more than two
+/// segments with FailureKind::kInvalidInput. Finds a routing whenever
+/// one exists (Theorem 4). `events`, if non-null, receives the
+/// execution trace.
 RouteResult greedy2track_route(const SegmentedChannel& ch,
                                const ConnectionSet& cs,
                                std::vector<Greedy2Event>* events = nullptr);

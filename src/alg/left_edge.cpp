@@ -1,7 +1,6 @@
 #include "alg/left_edge.h"
 
 #include <optional>
-#include <stdexcept>
 
 #include "core/routing.h"
 #include "obs/instrument.h"
@@ -10,13 +9,15 @@ namespace segroute::alg {
 
 RouteResult left_edge_route(const SegmentedChannel& ch, const ConnectionSet& cs,
                             int max_segments, const RouteContext& ctx) {
-  if (!ch.identically_segmented()) {
-    throw std::invalid_argument(
-        "left_edge_route: channel must be identically segmented");
-  }
   RouteResult res;
   res.routing = Routing(cs.size());
   SEGROUTE_SPAN(le_span, "alg.left_edge_route");
+  if (!ch.identically_segmented()) {
+    res.fail(FailureKind::kInvalidInput,
+             "left_edge_route: channel must be identically segmented");
+    SEGROUTE_SPAN_TAG(le_span, "outcome", to_string(res.failure));
+    return res;
+  }
   if (cs.max_right() > ch.width()) {
     res.fail(FailureKind::kInvalidInput, "connections exceed channel width");
     SEGROUTE_SPAN_TAG(le_span, "outcome", to_string(res.failure));

@@ -16,9 +16,9 @@ namespace segroute::alg {
 /// If `max_segments` > 0, assignments that would occupy more segments are
 /// not considered (K-segment routing).
 ///
-/// Precondition: ch.identically_segmented(). (The algorithm runs on any
-/// channel, but its exactness guarantee — and this function — require
-/// identical tracks; throws std::invalid_argument otherwise.)
+/// Requires ch.identically_segmented(): the algorithm runs on any
+/// channel, but its exactness guarantee requires identical tracks, so a
+/// mixed channel is rejected with FailureKind::kInvalidInput.
 ///
 /// `ctx` optionally supplies a prebuilt ChannelIndex and a reusable
 /// Occupancy (reset here); results are bit-identical with and without it.

@@ -1,7 +1,6 @@
 #include "alg/online.h"
 
 #include <limits>
-#include <stdexcept>
 
 namespace segroute::alg {
 
@@ -39,10 +38,15 @@ std::optional<ConnId> OnlineRouter::insert(Column left, Column right,
                                            std::string name) {
   Connection c{left, right, std::move(name)};
   if (c.left < 1 || c.left > c.right || c.right > channel_.width()) {
-    throw std::invalid_argument("OnlineRouter::insert: bad span");
+    last_failure_ = FailureKind::kInvalidInput;
+    return std::nullopt;
   }
   const auto t = pick_track(c);
-  if (!t) return std::nullopt;
+  if (!t) {
+    last_failure_ = FailureKind::kInfeasible;
+    return std::nullopt;
+  }
+  last_failure_ = FailureKind::kNone;
   const ConnId id = static_cast<ConnId>(conns_.size());
   occ_.place(*t, c.left, c.right, id);
   conns_.push_back(std::move(c));
@@ -55,6 +59,7 @@ std::optional<ConnId> OnlineRouter::insert(Column left, Column right,
 std::optional<ConnId> OnlineRouter::insert_with_ripup(Column left, Column right,
                                                       std::string name) {
   if (auto id = insert(left, right, name)) return id;
+  if (last_failure_ == FailureKind::kInvalidInput) return std::nullopt;
   const Connection c{left, right, name};
   // Try evicting, per track, every live connection that occupies one of
   // the segments c would need; c must then fit the track and the victim
@@ -91,6 +96,7 @@ std::optional<ConnId> OnlineRouter::insert_with_ripup(Column left, Column right,
         ++num_placed_;
         occ_.place(*new_home, vc.left, vc.right, victim);
         track_of_[static_cast<std::size_t>(victim)] = *new_home;
+        last_failure_ = FailureKind::kNone;
         return id;
       }
       occ_.remove(t, c.left, c.right);  // undo the tentative placement
@@ -102,22 +108,18 @@ std::optional<ConnId> OnlineRouter::insert_with_ripup(Column left, Column right,
   return std::nullopt;
 }
 
-void OnlineRouter::remove(ConnId id) {
-  if (id < 0 || id >= static_cast<ConnId>(conns_.size()) ||
-      !live_[static_cast<std::size_t>(id)]) {
-    throw std::invalid_argument("OnlineRouter::remove: unknown connection");
-  }
+bool OnlineRouter::remove(ConnId id) {
+  if (!is_placed(id)) return false;
   const Connection& c = conns_[static_cast<std::size_t>(id)];
   occ_.remove(track_of_[static_cast<std::size_t>(id)], c.left, c.right);
   live_[static_cast<std::size_t>(id)] = false;
   track_of_[static_cast<std::size_t>(id)] = kNoTrack;
   --num_placed_;
+  return true;
 }
 
 TrackId OnlineRouter::reroute(ConnId id) {
-  if (!is_placed(id)) {
-    throw std::invalid_argument("OnlineRouter::reroute: unknown connection");
-  }
+  if (!is_placed(id)) return kNoTrack;
   const Connection c = conns_[static_cast<std::size_t>(id)];
   const TrackId old = track_of_[static_cast<std::size_t>(id)];
   occ_.remove(old, c.left, c.right);
@@ -133,16 +135,12 @@ bool OnlineRouter::is_placed(ConnId id) const {
 }
 
 TrackId OnlineRouter::track_of(ConnId id) const {
-  if (!is_placed(id)) {
-    throw std::invalid_argument("OnlineRouter::track_of: unknown connection");
-  }
+  if (!is_placed(id)) return kNoTrack;
   return track_of_[static_cast<std::size_t>(id)];
 }
 
 const Connection& OnlineRouter::connection(ConnId id) const {
-  if (!is_placed(id)) {
-    throw std::invalid_argument("OnlineRouter::connection: unknown connection");
-  }
+  // Precondition: is_placed(id) — documented in the header.
   return conns_[static_cast<std::size_t>(id)];
 }
 

@@ -8,19 +8,21 @@
 #include <optional>
 #include <vector>
 
+#include "alg/result.h"
 #include "core/channel.h"
 #include "core/connection.h"
 #include "core/routing.h"
 
 namespace segroute::alg {
 
-/// Throw contract: unlike the batch routers (which return a RouteResult
-/// with failure == FailureKind::kInvalidInput), this stateful API throws
-/// std::invalid_argument on caller errors — an out-of-range span passed
-/// to insert()/insert_with_ripup(), or an unknown/removed connection id
-/// passed to remove()/reroute()/track_of()/connection(). The object is
-/// unchanged by a throwing call. harness::robust_route translates such
-/// throws from any cascaded router back into kInvalidInput.
+/// Error contract: like the batch routers, this stateful API never
+/// throws on caller errors. An out-of-range span passed to insert()/
+/// insert_with_ripup() yields nullopt with last_failure() ==
+/// FailureKind::kInvalidInput (vs kInfeasible when no feasible track
+/// exists); an unknown/removed connection id makes remove() return
+/// false and reroute()/track_of() return kNoTrack. connection() has a
+/// precondition instead (see below). The object is unchanged by any
+/// rejected call.
 class OnlineRouter {
  public:
   enum class Policy {
@@ -33,30 +35,41 @@ class OnlineRouter {
                         Policy policy = Policy::BestFit, int max_segments = 0);
 
   /// Inserts a connection; returns its id on success (stable across
-  /// removals of other connections), or nullopt if no feasible track
-  /// exists under the policy.
+  /// removals of other connections), or nullopt on failure —
+  /// last_failure() then says whether the span was invalid
+  /// (kInvalidInput) or no feasible track exists under the policy
+  /// (kInfeasible).
   std::optional<ConnId> insert(Column left, Column right,
                                std::string name = {});
 
   /// Inserts with single-level rip-up: if plain insertion fails, tries
   /// evicting one placed connection that blocks some track, inserting the
   /// new connection there, and re-placing the evicted one elsewhere.
-  /// Either both end up placed or the state is left unchanged.
+  /// Either both end up placed or the state is left unchanged. Failure
+  /// reporting as insert().
   std::optional<ConnId> insert_with_ripup(Column left, Column right,
                                           std::string name = {});
 
+  /// Why the most recent insert()/insert_with_ripup() returned nullopt
+  /// (kNone after a successful one).
+  [[nodiscard]] FailureKind last_failure() const { return last_failure_; }
+
   /// Removes a previously inserted connection (its id becomes invalid).
-  /// Throws std::invalid_argument for unknown/removed ids.
-  void remove(ConnId id);
+  /// Returns false (and changes nothing) for unknown/removed ids.
+  bool remove(ConnId id);
 
   /// Moves a placed connection to the best feasible track under the
-  /// policy (possibly the one it is already on). Returns the new track.
+  /// policy (possibly the one it is already on). Returns the new track,
+  /// or kNoTrack (and changes nothing) for unknown/removed ids.
   TrackId reroute(ConnId id);
 
   [[nodiscard]] const SegmentedChannel& channel() const { return channel_; }
   [[nodiscard]] int num_placed() const { return num_placed_; }
   [[nodiscard]] bool is_placed(ConnId id) const;
+  /// Track of a placed connection, or kNoTrack for unknown/removed ids.
   [[nodiscard]] TrackId track_of(ConnId id) const;
+  /// Precondition: is_placed(id). The one accessor that cannot report
+  /// failure in-band; callers check is_placed() first.
   [[nodiscard]] const Connection& connection(ConnId id) const;
 
   /// Snapshot of the current state as a (ConnectionSet, Routing) pair —
@@ -70,6 +83,7 @@ class OnlineRouter {
   SegmentedChannel channel_;
   Policy policy_;
   int max_segments_;
+  FailureKind last_failure_ = FailureKind::kNone;
   Occupancy occ_;
   std::vector<Connection> conns_;   // slot per id; removed slots stay
   std::vector<TrackId> track_of_;   // kNoTrack when removed

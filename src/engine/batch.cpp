@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "alg/registry.h"
+#include "core/router.h"
 #include "engine/scratch.h"
 #include "obs/instrument.h"
 
@@ -70,6 +72,7 @@ BatchRouter::BatchRouter(const SegmentedChannel& ch, BatchOptions opts)
 BatchRouter::CacheKey BatchRouter::make_key(
     const ConnectionSet& cs, const EngineRouteOptions& opts) const {
   CacheKey key;
+  key.router = opts.router;
   key.max_segments = opts.max_segments;
   key.weight = opts.weight;
   key.conns.reserve(static_cast<std::size_t>(cs.size()));
@@ -82,6 +85,10 @@ BatchRouter::CacheKey BatchRouter::make_key(
   h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(opts.max_segments))
        * 1099511628211ull;
   h ^= static_cast<std::uint64_t>(opts.weight) * 1099511628211ull;
+  for (const char c : opts.router) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
   for (const Connection& c : cs.all()) {
     key.conns.emplace_back(c.left, c.right);
     h += fnv_pair(c.left, c.right);
@@ -94,14 +101,17 @@ alg::RouteResult BatchRouter::route_one(const ConnectionSet& cs,
                                         const EngineRouteOptions& opts,
                                         const harness::Budget& budget) {
   Scratch& scratch = thread_scratch();
-  alg::DpOptions dp_opts;
-  dp_opts.max_segments = opts.max_segments;
-  dp_opts.weight = weight_fns_[static_cast<int>(opts.weight)];
-  dp_opts.budget = budget;
-  dp_opts.index = &index_;
-  dp_opts.workspace = &scratch.dp();
-  alg::RouteResult res = alg::dp_route(*ch_, cs, dp_opts);
-  // The DP workspace grows during the route; record the retained
+  RouteRequest rq;
+  rq.channel = ch_;
+  rq.connections = &cs;
+  rq.context.index = &index_;
+  rq.context.occupancy = &scratch.occupancy_for(index_);
+  rq.dp_workspace = &scratch.dp();
+  rq.options.max_segments = opts.max_segments;
+  rq.options.weight = weight_fns_[static_cast<int>(opts.weight)];
+  rq.budget = budget;
+  alg::RouteResult res = alg::route(opts.router, rq);
+  // The scratch arenas grow during the route; record the retained
   // high-water mark after the fact.
   SEGROUTE_GAUGE_MAX("engine.scratch.bytes_held", scratch.bytes_held());
   return res;

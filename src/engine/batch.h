@@ -15,13 +15,17 @@
 //      every router call (O(1) segment lookups, prebuilt type classes);
 //   2. per-thread scratch arenas (engine/scratch.h), so steady-state
 //      calls are allocation-free;
-//   3. a bounded LRU memo cache keyed by (channel fingerprint,
-//      connection sequence, routing options), with hit/miss/eviction
-//      counters.
+//   3. a bounded LRU memo cache keyed by (channel fingerprint, router
+//      name, connection sequence, routing options), with
+//      hit/miss/eviction counters.
+//
+// Routing dispatches through alg::registry() — EngineRouteOptions names
+// the router ("dp" by default), so the same engine front end serves any
+// registered strategy.
 //
 // Determinism contract. route() and route_many() return results
-// bit-identical to the direct dp_route() path, for every thread count
-// and with the cache on or off:
+// bit-identical to the named router's direct path, for every thread
+// count and with the cache on or off:
 //   - cache keys compare the exact connection sequence (the hash is
 //     permutation-invariant, the equality is not), so an id-permuted
 //     instance can never be served another permutation's routing;
@@ -38,11 +42,11 @@
 #include <list>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
-#include "alg/dp.h"
 #include "alg/result.h"
 #include "core/channel_index.h"
 #include "core/connection.h"
@@ -69,8 +73,14 @@ const char* to_string(WeightKind k);
 std::optional<WeightFn> make_weight(WeightKind k);
 
 /// Per-instance routing options understood by the engine (the hashable
-/// subset of alg::DpOptions).
+/// subset of a RouteRequest).
 struct EngineRouteOptions {
+  /// Which registered router (alg::registry() name) routes the instance.
+  /// The memo cache is keyed on it, so one BatchRouter can serve mixed
+  /// strategies without cross-serving results. An unknown name yields
+  /// FailureKind::kInvalidInput.
+  std::string router = "dp";
+
   /// 0 = unlimited-segment routing; K > 0 = K-segment routing.
   int max_segments = 0;
 
@@ -118,7 +128,9 @@ class BatchRouter {
   [[nodiscard]] const BatchOptions& options() const { return opts_; }
 
   /// Routes one instance through the engine (index + thread scratch +
-  /// memo cache). Bit-identical to dp_route with the same options.
+  /// memo cache), dispatching to the registered router named in the
+  /// options. Bit-identical to calling that router's free function
+  /// directly with the same options (the default "dp" matches dp_route).
   alg::RouteResult route(const ConnectionSet& cs,
                          const EngineRouteOptions& opts = {});
 
@@ -134,6 +146,7 @@ class BatchRouter {
 
  private:
   struct CacheKey {
+    std::string router;  // registry name the result came from
     int max_segments = 0;
     WeightKind weight = WeightKind::kNone;
     std::vector<std::pair<Column, Column>> conns;  // exact sequence
@@ -141,7 +154,7 @@ class BatchRouter {
 
     friend bool operator==(const CacheKey& a, const CacheKey& b) {
       return a.max_segments == b.max_segments && a.weight == b.weight &&
-             a.conns == b.conns;
+             a.router == b.router && a.conns == b.conns;
     }
   };
   struct CacheKeyHash {

@@ -5,21 +5,14 @@
 #include <chrono>
 #include <limits>
 #include <mutex>
-#include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "util/pool.h"
 
-#include "alg/anneal_route.h"
-#include "alg/branch_bound.h"
-#include "alg/dp.h"
-#include "alg/greedy1.h"
-#include "alg/greedy2track.h"
-#include "alg/left_edge.h"
-#include "alg/lp_route.h"
-#include "alg/match1.h"
+#include "alg/registry.h"
 #include "core/channel_index.h"
+#include "core/router.h"
 #include "engine/scratch.h"
 #include "obs/instrument.h"
 
@@ -27,155 +20,68 @@ namespace segroute::harness {
 
 using alg::FailureKind;
 using alg::RouteResult;
+using alg::RouterEntry;
 using Clock = std::chrono::steady_clock;
-
-const char* to_string(Stage s) {
-  switch (s) {
-    case Stage::kDp:
-      return "dp";
-    case Stage::kGreedy1:
-      return "greedy1";
-    case Stage::kMatch1:
-      return "match1";
-    case Stage::kGreedy2:
-      return "greedy2track";
-    case Stage::kLeftEdge:
-      return "left-edge";
-    case Stage::kLp:
-      return "lp";
-    case Stage::kAnneal:
-      return "anneal";
-    case Stage::kBranchBound:
-      return "branch-bound";
-  }
-  return "?";
-}
 
 namespace {
 
 std::vector<StageSpec> default_cascade() {
-  return {{Stage::kDp, {}},
-          {Stage::kGreedy1, {}},
-          {Stage::kMatch1, {}},
-          {Stage::kLp, {}},
-          {Stage::kAnneal, {}}};
+  return {{"dp", {}}, {"greedy1", {}}, {"match1", {}}, {"lp", {}},
+          {"anneal", {}}};
 }
 
-RouteResult run_stage(Stage s, const SegmentedChannel& ch,
+RouteResult run_stage(const RouterEntry& e, const SegmentedChannel& ch,
                       const ConnectionSet& cs, const RobustOptions& o,
                       const Budget& b, const ChannelIndex& idx) {
-  // Index-aware stages take the shared per-call index (built once on the
-  // routed substrate) plus the calling thread's scratch arenas: stages
-  // race on separate pool threads, and thread_scratch() is thread-local,
-  // so no workspace is ever shared.
-  switch (s) {
-    case Stage::kDp: {
-      alg::DpOptions dp;
-      dp.max_segments = o.max_segments;
-      dp.weight = o.weight;
-      dp.budget = b;
-      dp.index = &idx;
-      dp.workspace = &engine::thread_scratch().dp();
-      return alg::dp_route(ch, cs, dp);
-    }
-    case Stage::kGreedy1: {
-      RouteContext ctx{&idx, &engine::thread_scratch().occupancy_for(idx)};
-      return alg::greedy1_route(ch, cs, alg::TieBreak::LowestTrack, ctx);
-    }
-    case Stage::kMatch1: {
-      RouteContext ctx{&idx, nullptr};
-      return o.weight ? alg::match1_route_optimal(ch, cs, *o.weight, ctx)
-                      : alg::match1_route(ch, cs, ctx);
-    }
-    case Stage::kGreedy2:
-      return alg::greedy2track_route(ch, cs);
-    case Stage::kLeftEdge: {
-      RouteContext ctx{&idx, &engine::thread_scratch().occupancy_for(idx)};
-      return alg::left_edge_route(ch, cs, o.max_segments, ctx);
-    }
-    case Stage::kLp: {
-      alg::LpRouteOptions lp;
-      lp.max_segments = o.max_segments;
-      lp.budget = b;
-      return o.weight ? alg::lp_route_optimal(ch, cs, *o.weight, lp)
-                      : alg::lp_route(ch, cs, lp);
-    }
-    case Stage::kAnneal: {
-      alg::AnnealRouteOptions an;
-      an.max_segments = o.max_segments;
-      an.budget = b;
-      return alg::anneal_route(ch, cs, an);
-    }
-    case Stage::kBranchBound: {
-      RouteResult res;
-      if (!o.weight) {
-        res.fail(FailureKind::kInvalidInput,
-                 "branch-and-bound stage requires a weight function");
-        return res;
-      }
-      alg::BranchBoundOptions bb;
-      bb.max_segments = o.max_segments;
-      bb.budget = b;
-      bb.index = &idx;
-      return alg::branch_bound_route(ch, cs, *o.weight, bb);
-    }
-  }
-  RouteResult res;
-  res.fail(FailureKind::kInternal, "unknown stage");
-  return res;
+  // Every stage goes through the registry dispatcher with the shared
+  // per-call index (built once on the routed substrate) plus the calling
+  // thread's scratch arenas: stages race on separate pool threads, and
+  // thread_scratch() is thread-local, so no workspace is ever shared.
+  RouteRequest rq;
+  rq.channel = &ch;
+  rq.connections = &cs;
+  rq.context.index = &idx;
+  rq.context.occupancy = &engine::thread_scratch().occupancy_for(idx);
+  rq.dp_workspace = &engine::thread_scratch().dp();
+  rq.options.max_segments = o.max_segments;
+  // Stages without weight support route for feasibility and are scored
+  // externally (total_weight below) — a weighted request would be
+  // rejected as outside their capability envelope.
+  if (o.weight && e.caps.supports_weight) rq.options.weight = o.weight;
+  rq.budget = b;
+  return alg::route(e, rq);
 }
 
 /// Does this stage set RouteResult::weight itself in optimizing mode?
-bool stage_reports_weight(Stage s) {
-  switch (s) {
-    case Stage::kDp:
-    case Stage::kMatch1:
-    case Stage::kLp:
-    case Stage::kBranchBound:
-      return true;
-    default:
-      return false;
-  }
+/// Exactly the stages the dispatcher hands the weight to.
+bool stage_reports_weight(const RouterEntry& e, const RobustOptions& o) {
+  return o.weight.has_value() && e.caps.supports_weight;
 }
 
 /// A kInfeasible failure from this stage is a *proof* that no routing of
-/// the posed problem exists (see the FailureKind doc). 1-segment routers
-/// prove it only when K = 1 was actually asked for; the feasibility
-/// specialists prove it for any K because infeasibility of the
-/// unconstrained problem implies infeasibility of every restriction.
-bool proves_infeasible(Stage s, const RobustOptions& o, const RouteResult& r) {
+/// the posed problem exists (see the FailureKind doc): the router is
+/// exact and its search completed (exact routers report budget aborts as
+/// kBudgetExhausted, never kInfeasible). 1-segment routers prove it only
+/// when K = 1 was actually asked for; the other exact specialists prove
+/// it for any K because their kInfeasible covers the unconstrained
+/// problem, whose infeasibility implies that of every restriction.
+bool proves_infeasible(const RouterEntry& e, const RobustOptions& o,
+                       const RouteResult& r) {
   if (r.failure != FailureKind::kInfeasible) return false;
-  switch (s) {
-    case Stage::kDp:
-      return true;
-    case Stage::kGreedy1:
-    case Stage::kMatch1:
-      return o.max_segments == 1;
-    case Stage::kGreedy2:   // exact for Problem 1; ran => precondition held
-    case Stage::kLeftEdge:  // exact for Problems 1/2 on identical tracks
-      return true;
-    case Stage::kLp:      // "gave up" (its pass-0 bound is noted, not typed)
-    case Stage::kAnneal:  // never proves anything
-      return false;
-    case Stage::kBranchBound:
-      return true;  // aborts report kBudgetExhausted, never kInfeasible
-  }
-  return false;
+  if (!e.caps.exact) return false;
+  if (e.caps.k1_only) return o.max_segments == 1;
+  return true;
 }
 
 /// A verified success from this stage is already optimal for the posed
-/// optimizing problem, so later stages cannot improve on it.
-bool exact_optimal(Stage s, const RobustOptions& o, const RouteResult& r) {
-  switch (s) {
-    case Stage::kDp:
-      return true;
-    case Stage::kMatch1:
-      return o.max_segments == 1;
-    case Stage::kBranchBound:
-      return r.note.empty();  // non-empty note = budget hit, best-effort
-    default:
-      return false;
-  }
+/// optimizing problem, so later stages cannot improve on it. Anytime
+/// optimizers flag best-effort answers with a non-empty note.
+bool exact_optimal(const RouterEntry& e, const RobustOptions& o,
+                   const RouteResult& r) {
+  if (!e.caps.optimal) return false;
+  if (e.caps.k1_only && o.max_segments != 1) return false;
+  if (e.caps.anytime && !r.note.empty()) return false;
+  return true;
 }
 
 }  // namespace
@@ -221,16 +127,17 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
 
   // Best verified candidate so far (optimizing mode accumulates; in
   // feasibility mode the first one ends the serial cascade or the race).
+  // Names point into the registry (static strings, usable as span tags).
   bool have_candidate = false;
   Routing best_routing;
   double best_weight = std::numeric_limits<double>::infinity();
-  Stage best_stage = Stage::kDp;
+  const char* best_name = "?";
 
   std::optional<Clock::time_point> overall_deadline;
   if (opts.deadline) overall_deadline = t0 + *opts.deadline;
 
   bool proven_infeasible = false;
-  Stage proven_stage = Stage::kDp;
+  const char* proven_name = "?";
   std::string proven_note;
 
   if (opts.race && cascade.size() > 1) {
@@ -260,13 +167,14 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
 
     const auto race_one = [&](std::size_t k) {
       const StageSpec& spec = cascade[k];
-      // Named by the stage (static string) so the race lanes read
-      // directly in a trace viewer; re-tagged with the outcome below.
-      SEGROUTE_SPAN(stage_span, to_string(spec.stage), "stage",
-                    to_string(spec.stage));
+      const RouterEntry* entry = alg::find_router(spec.router);
+      // Named by the router (static registry string) so the race lanes
+      // read directly in a trace viewer; re-tagged with the outcome below.
+      const char* rname = entry ? entry->name : "unknown-router";
+      SEGROUTE_SPAN(stage_span, rname, "router", rname);
       bool won = false;
       StageReport sr;
-      sr.stage = spec.stage;
+      sr.router = spec.router;
       sr.attempted = true;
       Budget b = spec.budget;
       b.cancel = &race_stop;
@@ -276,11 +184,11 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
       }
       const auto stage_t0 = Clock::now();
       RouteResult r;
-      try {
-        r = run_stage(spec.stage, *substrate, cs, opts, b, index);
-      } catch (const std::invalid_argument& e) {
+      if (entry) {
+        r = run_stage(*entry, *substrate, cs, opts, b, index);
+      } else {
         r.fail(FailureKind::kInvalidInput,
-               std::string("router rejected input: ") + e.what());
+               "unknown router \"" + spec.router + "\"");
       }
       sr.elapsed_ms = ms_since(stage_t0);
       sr.success = r.success;
@@ -290,7 +198,7 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
       if (r.success) {
         VerifyOptions vo;
         vo.max_segments = opts.max_segments;
-        if (opts.weight && stage_reports_weight(spec.stage)) {
+        if (stage_reports_weight(*entry, opts)) {
           vo.weight = opts.weight;  // expectation = r.weight (checked)
         }
         const VerifyResult v = verifier.check(r, vo);
@@ -301,7 +209,7 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
         } else {
           sr.verified = true;
           double w = r.weight;
-          if (opts.weight && !stage_reports_weight(spec.stage)) {
+          if (opts.weight && !stage_reports_weight(*entry, opts)) {
             w = total_weight(*substrate, cs, r.routing, *opts.weight);
           }
           sr.weight = w;
@@ -310,7 +218,7 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
             // Feasibility race: first verified success wins.
             if (!have_candidate) {
               best_routing = r.routing;
-              best_stage = spec.stage;
+              best_name = entry->name;
               have_candidate = true;
               won = true;
               race_stop.store(true, std::memory_order_relaxed);
@@ -319,20 +227,20 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
             if (!have_candidate || w < best_weight) {
               best_routing = r.routing;
               best_weight = w;
-              best_stage = spec.stage;
+              best_name = entry->name;
               have_candidate = true;
               won = true;
             }
-            if (exact_optimal(spec.stage, opts, r)) {
+            if (exact_optimal(*entry, opts, r)) {
               race_stop.store(true, std::memory_order_relaxed);
             }
           }
         }
-      } else if (proves_infeasible(spec.stage, opts, r)) {
+      } else if (entry && proves_infeasible(*entry, opts, r)) {
         std::lock_guard<std::mutex> lock(mu);
         if (!proven_infeasible) {
           proven_infeasible = true;
-          proven_stage = spec.stage;
+          proven_name = entry->name;
           proven_note = sr.note;
           won = true;  // the race ends on this stage's proof
         }
@@ -344,7 +252,7 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
       // the instant nests under it in the trace. In optimizing mode
       // "winner" means "took (or kept) the lead when it finished".
       SEGROUTE_INSTANT(won ? "robust.race.winner" : "robust.race.loser",
-                       "stage", to_string(spec.stage));
+                       "router", rname);
       srs[k] = std::move(sr);  // distinct slot per stage, no lock needed
     };
 
@@ -364,10 +272,11 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
   } else
   for (std::size_t k = 0; k < cascade.size(); ++k) {
     const StageSpec& spec = cascade[k];
-    SEGROUTE_SPAN(stage_span, to_string(spec.stage), "stage",
-                  to_string(spec.stage));
+    const RouterEntry* entry = alg::find_router(spec.router);
+    const char* rname = entry ? entry->name : "unknown-router";
+    SEGROUTE_SPAN(stage_span, rname, "router", rname);
     StageReport sr;
-    sr.stage = spec.stage;
+    sr.router = spec.router;
 
     // This stage's slice: remaining deadline split over remaining stages
     // (later stages inherit unspent time), meeting any per-stage budget.
@@ -396,11 +305,11 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
     sr.attempted = true;
     const auto stage_t0 = Clock::now();
     RouteResult r;
-    try {
-      r = run_stage(spec.stage, *substrate, cs, opts, b, index);
-    } catch (const std::invalid_argument& e) {
+    if (entry) {
+      r = run_stage(*entry, *substrate, cs, opts, b, index);
+    } else {
       r.fail(FailureKind::kInvalidInput,
-             std::string("router rejected input: ") + e.what());
+             "unknown router \"" + spec.router + "\"");
     }
     sr.elapsed_ms = ms_since(stage_t0);
     sr.success = r.success;
@@ -410,7 +319,7 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
     if (r.success) {
       VerifyOptions vo;
       vo.max_segments = opts.max_segments;
-      if (opts.weight && stage_reports_weight(spec.stage)) {
+      if (stage_reports_weight(*entry, opts)) {
         vo.weight = opts.weight;  // expectation = r.weight (checked)
       }
       const VerifyResult v = verifier.check(r, vo);
@@ -421,7 +330,7 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
       } else {
         sr.verified = true;
         double w = r.weight;
-        if (opts.weight && !stage_reports_weight(spec.stage)) {
+        if (opts.weight && !stage_reports_weight(*entry, opts)) {
           w = total_weight(*substrate, cs, r.routing, *opts.weight);
         }
         sr.weight = w;
@@ -429,7 +338,7 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
         if (!opts.weight) {
           // Feasibility mode: first verified routing wins.
           best_routing = r.routing;
-          best_stage = spec.stage;
+          best_name = entry->name;
           have_candidate = true;
           report.stages.push_back(std::move(sr));
           break;
@@ -437,17 +346,17 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
         if (!have_candidate || w < best_weight) {
           best_routing = r.routing;
           best_weight = w;
-          best_stage = spec.stage;
+          best_name = entry->name;
           have_candidate = true;
         }
-        const bool optimal = exact_optimal(spec.stage, opts, r);
+        const bool optimal = exact_optimal(*entry, opts, r);
         report.stages.push_back(std::move(sr));
         if (optimal) break;
         continue;
       }
-    } else if (proves_infeasible(spec.stage, opts, r)) {
+    } else if (entry && proves_infeasible(*entry, opts, r)) {
       proven_infeasible = true;
-      proven_stage = spec.stage;
+      proven_name = entry->name;
       proven_note = sr.note;
       SEGROUTE_SPAN_TAG(stage_span, "outcome", to_string(sr.failure));
       report.stages.push_back(std::move(sr));
@@ -460,7 +369,7 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
 
   if (have_candidate) {
     report.success = true;
-    report.winner = best_stage;
+    report.winner = best_name;
     if (opts.weight) report.weight = best_weight;
     report.routing = best_routing;
     if (degraded) {
@@ -472,12 +381,12 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
       }
       report.routing = mapped;
     }
-    report.note = std::string("routed by stage ") + to_string(best_stage);
-    SEGROUTE_INSTANT("robust.winner", "stage", to_string(best_stage));
+    report.note = std::string("routed by stage ") + best_name;
+    SEGROUTE_INSTANT("robust.winner", "router", best_name);
   } else if (proven_infeasible) {
     report.failure = FailureKind::kInfeasible;
-    report.note = "proven infeasible by stage " +
-                  std::string(to_string(proven_stage)) + ": " + proven_note;
+    report.note = "proven infeasible by stage " + std::string(proven_name) +
+                  ": " + proven_note;
   } else {
     // Aggregate: all-invalid-input > budget exhaustion > verification
     // failure > infeasible-looking give-ups.

@@ -19,12 +19,18 @@
 //  - a stage that is exact for the posed problem and reports kInfeasible
 //    (with its search complete) *proves* infeasibility and ends the
 //    cascade;
-//  - a stage that throws std::invalid_argument is recorded as
-//    kInvalidInput and the cascade continues (the throw contracts of
-//    greedy2track_route / left_edge_route are translated, not propagated);
+//  - a stage handed input outside its capability envelope (an unknown
+//    router name, a mixed channel for "left_edge", >2 segments/track for
+//    "greedy2track") is recorded as kInvalidInput by the registry
+//    dispatcher and the cascade continues — no stage throws;
 //  - a stage whose routing fails verification is recorded as
 //    kVerificationFailed and the cascade continues — a corrupt answer is
 //    never returned.
+//
+// Stages are named routers from alg::registry() ("dp", "greedy1", ...);
+// their capability flags — not hard-coded per-router knowledge — decide
+// which failures prove infeasibility, which successes end an optimizing
+// cascade, and which stages receive the weight function.
 //
 // Budgets: RobustOptions::deadline bounds the whole call. Each stage gets
 // remaining / stages-left of it (a stage finishing early donates its
@@ -55,24 +61,13 @@
 
 namespace segroute::harness {
 
-/// The routers the portfolio can cascade through.
-enum class Stage {
-  kDp,           // alg::dp_route — exact, all three problems
-  kGreedy1,      // alg::greedy1_route — exact iff K = 1, feasibility only
-  kMatch1,       // alg::match1_route(_optimal) — exact iff K = 1
-  kGreedy2,      // alg::greedy2track_route — exact on <=2-segment tracks
-  kLeftEdge,     // alg::left_edge_route — exact on identical tracks
-  kLp,           // alg::lp_route(_optimal) — heuristic
-  kAnneal,       // alg::anneal_route — heuristic
-  kBranchBound,  // alg::branch_bound_route — exact, needs a weight
-};
-
-const char* to_string(Stage s);
-
-/// One cascade entry: which router, plus an optional per-stage budget
-/// (intersected with the stage's slice of the overall deadline).
+/// One cascade entry: which router (a name from alg::registry(), e.g.
+/// "dp", "greedy1", "match1", "lp", "anneal", "branch_bound"), plus an
+/// optional per-stage budget (intersected with the stage's slice of the
+/// overall deadline). An unknown name records kInvalidInput for that
+/// stage and the cascade continues.
 struct StageSpec {
-  Stage stage;
+  std::string router;
   Budget budget;
 };
 
@@ -89,8 +84,8 @@ struct RobustOptions {
   /// Cooperative cancellation, checked by every budgeted stage.
   const std::atomic<bool>* cancel = nullptr;
 
-  /// The cascade; empty = the default {kDp, kGreedy1, kMatch1, kLp,
-  /// kAnneal}.
+  /// The cascade; empty = the default {"dp", "greedy1", "match1", "lp",
+  /// "anneal"}.
   std::vector<StageSpec> stages;
 
   /// Opt-in racing mode: run every stage concurrently (one thread per
@@ -110,7 +105,7 @@ struct RobustOptions {
 
 /// What happened in one cascade stage.
 struct StageReport {
-  Stage stage;
+  std::string router;      // the stage's router name, as configured
   bool attempted = false;  // false: skipped (deadline gone before start)
   bool success = false;    // the router reported success
   bool verified = false;   // ... and RouteVerifier accepted its routing
@@ -125,7 +120,7 @@ struct RouteReport {
   bool success = false;
   Routing routing;         // original-track coordinates (after faults)
   double weight = 0.0;     // winner's total weight (optimizing mode)
-  Stage winner = Stage::kDp;  // valid only when success
+  std::string winner;      // winning router name; empty unless success
   alg::FailureKind failure = alg::FailureKind::kNone;
   std::string note;
   std::vector<StageReport> stages;  // one entry per cascade stage, in order

@@ -1,7 +1,9 @@
 #include "net/express.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "core/routing.h"
 
@@ -98,15 +100,22 @@ NetworkReport offer_traffic(const SegmentedChannel& ch,
   std::sort(sorted.begin(), sorted.end(), [](const Message& a, const Message& b) {
     return std::min(a.src, a.dst) < std::min(b.src, b.dst);
   });
+  for (const Message& m : sorted) {
+    if (std::min(m.src, m.dst) < 1 ||
+        std::max(m.src, m.dst) > static_cast<int>(ch.width())) {
+      rep = NetworkReport{};
+      rep.offered = static_cast<int>(msgs.size());
+      rep.failure = alg::FailureKind::kInvalidInput;
+      rep.note = "offer_traffic: message beyond channel";
+      return rep;
+    }
+  }
   Occupancy occ(ch);
   double lat_sum = 0.0, sw_sum = 0.0;
   ConnId next_id = 0;
   for (const Message& m : sorted) {
     const Column lo = static_cast<Column>(std::min(m.src, m.dst));
     const Column hi = static_cast<Column>(std::max(m.src, m.dst));
-    if (hi > ch.width()) {
-      throw std::invalid_argument("offer_traffic: message beyond channel");
-    }
     // Prefer the track minimizing occupied segment count, then length —
     // an express lane for long-haul, a local lane for neighbors.
     TrackId best = kNoTrack;
@@ -137,6 +146,51 @@ NetworkReport offer_traffic(const SegmentedChannel& ch,
     rep.mean_switches = sw_sum / rep.delivered;
   }
   return rep;
+}
+
+alg::RouteResult express_route(const SegmentedChannel& ch,
+                               const ConnectionSet& cs, int max_segments,
+                               const RouteContext& ctx) {
+  alg::RouteResult res;
+  res.routing = Routing(cs.size());
+  if (cs.max_right() > ch.width()) {
+    res.fail(alg::FailureKind::kInvalidInput,
+             "connections exceed channel width");
+    return res;
+  }
+  const ChannelIndex* idx = ctx.index;
+  std::optional<Occupancy> local_occ;
+  Occupancy& occ = ctx.occupancy ? *ctx.occupancy : local_occ.emplace(ch);
+  if (ctx.occupancy) occ.reset();
+  for (ConnId i : cs.sorted_by_left()) {
+    const Connection& c = cs[i];
+    TrackId best = kNoTrack;
+    int best_segs = 0;
+    Column best_len = 0;
+    for (TrackId t = 0; t < ch.num_tracks(); ++t) {
+      const int segs = idx ? idx->segments_spanned(t, c.left, c.right)
+                           : ch.track(t).segments_spanned(c.left, c.right);
+      if (max_segments > 0 && segs > max_segments) continue;
+      if (!occ.fits(t, c.left, c.right)) continue;
+      const Column len = idx ? idx->occupied_length(t, c.left, c.right)
+                             : ch.track(t).occupied_length(c.left, c.right);
+      if (best == kNoTrack || segs < best_segs ||
+          (segs == best_segs && len < best_len)) {
+        best = t;
+        best_segs = segs;
+        best_len = len;
+      }
+    }
+    if (best == kNoTrack) {
+      res.fail(alg::FailureKind::kInfeasible,
+               "no feasible track for connection " + std::to_string(i));
+      return res;
+    }
+    occ.place(best, c.left, c.right, i);
+    res.routing.assign(i, best);
+  }
+  res.success = true;
+  return res;
 }
 
 }  // namespace segroute::net

@@ -15,9 +15,12 @@
 #pragma once
 
 #include <random>
+#include <string>
 #include <vector>
 
+#include "alg/result.h"
 #include "core/channel.h"
+#include "core/channel_index.h"
 #include "core/connection.h"
 #include "fpga/delay.h"
 
@@ -56,15 +59,35 @@ struct NetworkReport {
   double mean_latency = 0.0;         // Elmore delay over delivered
   double max_latency = 0.0;
   double mean_switches = 0.0;        // programmed switches per delivered msg
+  /// kInvalidInput when a message references a PE outside the channel's
+  /// columns (nothing is offered then); kNone otherwise.
+  alg::FailureKind failure = alg::FailureKind::kNone;
+  std::string note;  // human-readable detail when failure != kNone
+
+  explicit operator bool() const { return failure == alg::FailureKind::kNone; }
 };
 
 /// Greedy circuit switching: messages are sorted by left end and each is
-/// assigned (1-segment preferred, then any feasible track via first fit);
-/// undeliverable messages are dropped and counted.
-/// Throws std::invalid_argument if a message references a PE outside the
-/// channel's columns.
+/// assigned to the feasible track minimizing occupied segment count,
+/// then occupied length (an express lane for long-haul, a local lane for
+/// neighbors); undeliverable messages are dropped and counted. A message
+/// referencing a PE outside the channel's columns yields a report with
+/// failure == kInvalidInput instead of a throw.
 NetworkReport offer_traffic(const SegmentedChannel& ch,
                             const std::vector<Message>& msgs,
                             const fpga::DelayParams& params = {});
+
+/// The express assignment policy as a batch router: routes a
+/// ConnectionSet by left-end order, placing each connection on the
+/// feasible track with the fewest occupied segments (ties: shortest
+/// occupied length, then lowest track). With `max_segments` > 0,
+/// assignments occupying more segments are not considered. Heuristic —
+/// a kInfeasible failure means "gave up", not a proof. `ctx` optionally
+/// supplies a prebuilt ChannelIndex and a reusable Occupancy (reset
+/// here); results are bit-identical with and without it. Registered in
+/// alg::registry() as "express".
+alg::RouteResult express_route(const SegmentedChannel& ch,
+                               const ConnectionSet& cs, int max_segments = 0,
+                               const RouteContext& ctx = {});
 
 }  // namespace segroute::net

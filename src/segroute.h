@@ -25,11 +25,13 @@
 #include "alg/lp_route.h"
 #include "alg/match1.h"
 #include "alg/online.h"
+#include "alg/registry.h"
 #include "alg/result.h"
 #include "core/channel.h"
 #include "core/channel_index.h"
 #include "core/connection.h"
 #include "core/generalized.h"
+#include "core/router.h"
 #include "core/routing.h"
 #include "core/segment.h"
 #include "core/stats.h"

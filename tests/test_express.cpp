@@ -109,9 +109,12 @@ TEST(Express, ReportAggregatesAreConsistent) {
   }
 }
 
-TEST(Express, MessagesBeyondChannelThrow) {
-  EXPECT_THROW(offer_traffic(local_channel(2, 8), {Message{1, 9}}),
-               std::invalid_argument);
+TEST(Express, MessagesBeyondChannelAreInvalidInput) {
+  const auto rep = offer_traffic(local_channel(2, 8), {Message{1, 9}});
+  EXPECT_FALSE(rep);
+  EXPECT_EQ(rep.failure, alg::FailureKind::kInvalidInput);
+  EXPECT_FALSE(rep.note.empty());
+  EXPECT_EQ(rep.delivered, 0);
 }
 
 }  // namespace

@@ -40,11 +40,14 @@ TEST(Greedy2Track, ReproducesTheFig8Trace) {
   EXPECT_EQ(ev[4].track, 0);
 }
 
-TEST(Greedy2Track, ThrowsOnChannelsWithMoreThanTwoSegments) {
+TEST(Greedy2Track, MoreThanTwoSegmentsPerTrackIsInvalidInput) {
   const auto ch = SegmentedChannel::identical(2, 9, {3, 6});
   ConnectionSet cs;
   cs.add(1, 2);
-  EXPECT_THROW(greedy2track_route(ch, cs), std::invalid_argument);
+  const auto r = greedy2track_route(ch, cs);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.failure, FailureKind::kInvalidInput);
+  EXPECT_FALSE(r.note.empty());
 }
 
 TEST(Greedy2Track, Theorem4ExactnessAgainstDp) {

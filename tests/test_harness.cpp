@@ -267,7 +267,7 @@ TEST(RobustRoute, RoutesEasyInstanceWithTheExactStage) {
   cs.add(2, 6);
   const auto rep = robust_route(ch, cs);
   ASSERT_TRUE(rep.success);
-  EXPECT_EQ(rep.winner, Stage::kDp);
+  EXPECT_EQ(rep.winner, "dp");
   ASSERT_FALSE(rep.stages.empty());
   EXPECT_TRUE(rep.stages.front().verified);
   EXPECT_TRUE(validate(ch, cs, rep.routing));
@@ -282,17 +282,18 @@ TEST(RobustRoute, ExactInfeasibilityProofStopsTheCascade) {
   EXPECT_FALSE(rep.success);
   EXPECT_EQ(rep.failure, FailureKind::kInfeasible);
   EXPECT_EQ(rep.stages.size(), 1u);  // dp proves it; nothing else runs
-  EXPECT_EQ(rep.stages.front().stage, Stage::kDp);
+  EXPECT_EQ(rep.stages.front().router, "dp");
 }
 
-TEST(RobustRoute, ThrowingStageIsTranslatedToInvalidInput) {
-  // greedy2track's precondition (<= 2 segments per track) fails: the
-  // throw must surface as a structured kInvalidInput, not an exception.
+TEST(RobustRoute, OutOfEnvelopeStageReportsInvalidInput) {
+  // greedy2track's capability envelope (<= 2 segments per track) is
+  // violated: the registry dispatcher must surface a structured
+  // kInvalidInput, never an exception.
   const auto ch = SegmentedChannel::identical(2, 12, {3, 6, 9});
   ConnectionSet cs;
   cs.add(1, 2);
   RobustOptions o;
-  o.stages = {{Stage::kGreedy2, {}}};
+  o.stages = {{"greedy2track", {}}};
   const auto rep = robust_route(ch, cs, o);
   EXPECT_FALSE(rep.success);
   EXPECT_EQ(rep.failure, FailureKind::kInvalidInput);
@@ -380,10 +381,10 @@ TEST(RobustRoute, DeadlineHonoredWithGracefulFallback) {
 
   ASSERT_TRUE(rep.success) << rep.note;
   ASSERT_GE(rep.stages.size(), 2u);
-  EXPECT_EQ(rep.stages.front().stage, Stage::kDp);
+  EXPECT_EQ(rep.stages.front().router, "dp");
   EXPECT_EQ(rep.stages.front().failure, FailureKind::kBudgetExhausted)
       << rep.stages.front().note;
-  EXPECT_NE(rep.winner, Stage::kDp);
+  EXPECT_NE(rep.winner, "dp");
   // Deadline honored within 2x.
   EXPECT_LE(wall_ms, 100.0);
   // The fallback answer is independently verified and genuinely valid.
@@ -410,7 +411,7 @@ TEST(RobustRoute, CancellationShortCircuitsEveryStage) {
   // stages may still answer — either way the call returns promptly and
   // any success is verified.
   for (const auto& s : rep.stages) {
-    if (s.stage == Stage::kDp) {
+    if (s.router == "dp") {
       EXPECT_EQ(s.failure, FailureKind::kBudgetExhausted);
     }
   }

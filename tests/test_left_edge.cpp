@@ -73,11 +73,14 @@ TEST(LeftEdgeIdentical, FailsWhenTracksExhausted) {
   EXPECT_FALSE(r.note.empty());
 }
 
-TEST(LeftEdgeIdentical, ThrowsOnNonIdenticalChannel) {
+TEST(LeftEdgeIdentical, NonIdenticalChannelIsInvalidInput) {
   const auto ch = SegmentedChannel({Track(9, {3}), Track(9, {4})});
   ConnectionSet cs;
   cs.add(1, 2);
-  EXPECT_THROW(left_edge_route(ch, cs), std::invalid_argument);
+  const auto r = left_edge_route(ch, cs);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.failure, FailureKind::kInvalidInput);
+  EXPECT_FALSE(r.note.empty());
 }
 
 TEST(LeftEdgeIdentical, ExtendedDensityIsAValidUpperBound) {

@@ -58,8 +58,8 @@ TEST(OnlineRouter, RemoveFreesCapacity) {
   EXPECT_EQ(r.num_placed(), 1);
   EXPECT_FALSE(r.is_placed(*a));
   EXPECT_TRUE(r.insert(3, 3));
-  EXPECT_THROW(r.remove(*a), std::invalid_argument);  // already removed
-  EXPECT_THROW((void)r.track_of(*a), std::invalid_argument);
+  EXPECT_FALSE(r.remove(*a));  // already removed: no-op, reports false
+  EXPECT_EQ(r.track_of(*a), kNoTrack);
 }
 
 TEST(OnlineRouter, KSegmentLimitIsEnforced) {
@@ -73,9 +73,13 @@ TEST(OnlineRouter, KSegmentLimitIsEnforced) {
 
 TEST(OnlineRouter, InsertRejectsBadSpans) {
   OnlineRouter r(small_channel());
-  EXPECT_THROW(r.insert(0, 3), std::invalid_argument);
-  EXPECT_THROW(r.insert(3, 2), std::invalid_argument);
-  EXPECT_THROW(r.insert(3, 99), std::invalid_argument);
+  EXPECT_FALSE(r.insert(0, 3).has_value());
+  EXPECT_EQ(r.last_failure(), alg::FailureKind::kInvalidInput);
+  EXPECT_FALSE(r.insert(3, 2).has_value());
+  EXPECT_EQ(r.last_failure(), alg::FailureKind::kInvalidInput);
+  EXPECT_FALSE(r.insert(3, 99).has_value());
+  EXPECT_EQ(r.last_failure(), alg::FailureKind::kInvalidInput);
+  EXPECT_EQ(r.num_placed(), 0);
 }
 
 TEST(OnlineRouter, RipupMovesASingleVictim) {

@@ -203,7 +203,7 @@ TEST(RobustRace, FeasibilityMatchesSerialOnSuite) {
       // Whoever won the race, the winning stage must be verified.
       bool winner_verified = false;
       for (const auto& s : got.stages) {
-        if (s.stage == got.winner) winner_verified = s.verified;
+        if (s.router == got.winner) winner_verified = s.verified;
       }
       EXPECT_TRUE(winner_verified) << inst.name;
     }
@@ -236,7 +236,7 @@ TEST(RobustRace, ExternalCancelStopsTheRace) {
   // the cascade the outcome would be timing-dependent: a stage can
   // verifiably succeed before its first cancellation check, which the
   // racing contract allows.)
-  race.stages = {{harness::Stage::kDp, {}}, {harness::Stage::kDp, {}}};
+  race.stages = {{"dp", {}}, {"dp", {}}};
   const auto got = harness::robust_route(inst.channel, inst.connections, race);
   EXPECT_FALSE(got.success);
   EXPECT_EQ(got.failure, alg::FailureKind::kBudgetExhausted);

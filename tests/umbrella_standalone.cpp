@@ -1,0 +1,27 @@
+// Compiled with -fsyntax-only by the umbrella_standalone ctest: the
+// umbrella header alone must provide the full public API (no consumer
+// should need to know the internal include graph). The references below
+// touch one symbol per subsystem so a header dropped from segroute.h is
+// a test failure, not a silent API regression.
+#include "segroute.h"
+
+namespace {
+
+[[maybe_unused]] void touch_api() {
+  using segroute::ConnectionSet;
+  using segroute::RouteRequest;
+  using segroute::SegmentedChannel;
+  [[maybe_unused]] const auto& routers = segroute::alg::registry();
+  [[maybe_unused]] auto* entry = segroute::alg::find_router("dp");
+  SegmentedChannel ch = SegmentedChannel::identical(1, 4, {});
+  ConnectionSet cs;
+  RouteRequest rq;
+  rq.channel = &ch;
+  rq.connections = &cs;
+  [[maybe_unused]] auto r = segroute::alg::route("dp", rq);
+  [[maybe_unused]] auto rep = segroute::harness::robust_route(ch, cs);
+}
+
+}  // namespace
+
+int main() { return 0; }
