@@ -12,6 +12,7 @@
 #include "alg/lp_route.h"
 #include "alg/match1.h"
 #include "alg/online.h"
+#include "alg/partial.h"
 #include "core/routing.h"
 #include "net/express.h"
 #include "obs/instrument.h"
@@ -160,6 +161,26 @@ RouteResult route_express(const RouteRequest& rq) {
                             rq.options.max_segments, rq.context);
 }
 
+RouteResult route_partial(const RouteRequest& rq) {
+  PartialOptions o;
+  o.max_segments = rq.options.max_segments;
+  o.budget = rq.budget;
+  return partial_route(*rq.channel, *rq.connections, o, rq.context);
+}
+
+/// Comma-separated registry names, for the unknown-router diagnostic.
+const std::string& known_router_names() {
+  static const std::string names = [] {
+    std::string s;
+    for (const RouterEntry& e : registry()) {
+      if (!s.empty()) s += ", ";
+      s += e.name;
+    }
+    return s;
+  }();
+  return names;
+}
+
 }  // namespace
 
 const std::vector<RouterEntry>& registry() {
@@ -211,6 +232,8 @@ const std::vector<RouterEntry>& registry() {
        "O(M * T) per insert", {.supports_k = true}, &route_online},
       {"express", "Problems 1-2 heuristic (express-lane circuit switching)",
        "O(M * T)", {.supports_k = true}, &route_express},
+      {"partial", "Problems 1-2 best-effort (maximal greedy subset)",
+       "O(M * T)", {.supports_k = true, .anytime = true}, &route_partial},
   };
   return entries;
 }
@@ -270,7 +293,8 @@ RouteResult route(std::string_view name, const RouteRequest& req) {
       res.routing = Routing(req.connections->size());
     }
     res.fail(FailureKind::kInvalidInput,
-             "unknown router \"" + std::string(name) + "\"");
+             "unknown router \"" + std::string(name) +
+                 "\" (known: " + known_router_names() + ")");
     return res;
   }
   return route(*e, req);

@@ -77,10 +77,27 @@ struct RouteStats {
   int rounding_passes = 0;
 };
 
+/// Per-connection failure record for partial routings: which connection
+/// stayed unrouted and why. kInfeasible here means "the router could not
+/// place it given what it had already committed" — a proof of per-
+/// connection infeasibility only if the router says so in its note.
+struct ConnFailure {
+  ConnId conn = 0;
+  FailureKind kind = FailureKind::kInfeasible;
+};
+
 /// Outcome of a routing attempt. `success` means a complete valid routing
 /// was produced; `routing` is then complete. On failure `routing` may hold
 /// a partial assignment (router-specific), `failure` classifies what went
 /// wrong, and `note` carries the human-readable detail.
+///
+/// Partial-routing contract (the "partial" router and any future
+/// best-effort strategy): `partial == true` means `routing` holds a valid
+/// routing of a subset of the connections (never corrupt, independently
+/// verifiable with VerifyOptions::require_complete = false) and
+/// `unrouted` enumerates every unassigned connection with a per-
+/// connection FailureKind. `success` stays false unless the subset is
+/// everything; all-or-nothing consumers keep working unchanged.
 struct RouteResult {
   bool success = false;
   Routing routing;
@@ -88,6 +105,10 @@ struct RouteResult {
   FailureKind failure = FailureKind::kNone;  // kNone iff success
   std::string note;
   RouteStats stats;
+
+  // Partial-routing contract (see above).
+  bool partial = false;
+  std::vector<ConnFailure> unrouted;
 
   explicit operator bool() const { return success; }
 

@@ -73,6 +73,7 @@ BatchRouter::CacheKey BatchRouter::make_key(
     const ConnectionSet& cs, const EngineRouteOptions& opts) const {
   CacheKey key;
   key.router = opts.router;
+  key.fingerprint = index_.fingerprint();
   key.max_segments = opts.max_segments;
   key.weight = opts.weight;
   key.conns.reserve(static_cast<std::size_t>(cs.size()));
@@ -184,12 +185,33 @@ std::vector<alg::RouteResult> BatchRouter::route_many(
   return results;
 }
 
+void BatchRouter::rebind(const SegmentedChannel& ch) {
+  ch_ = &ch;
+  index_ = ChannelIndex(ch);
+  SEGROUTE_INSTANT("engine.rebind", "fingerprint", index_.fingerprint());
+}
+
+void BatchRouter::invalidate(std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->key.fingerprint == fingerprint) {
+      by_key_.erase(it->key);
+      it = entries_.erase(it);
+      ++invalidations_;
+      SEGROUTE_COUNT("engine.cache.invalidated", 1);
+    } else {
+      ++it;
+    }
+  }
+}
+
 CacheStats BatchRouter::cache_stats() const {
   std::lock_guard<std::mutex> lock(cache_mu_);
   CacheStats s;
   s.hits = hits_;
   s.misses = misses_;
   s.evictions = evictions_;
+  s.invalidations = invalidations_;
   s.size = entries_.size();
   s.capacity = opts_.use_cache ? opts_.cache_capacity : 0;
   return s;

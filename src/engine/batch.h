@@ -35,6 +35,17 @@
 //   - route_many() partitions statically (instance i's result never
 //     depends on scheduling); only the cache *counters* may vary with
 //     thread interleaving, never the results.
+//
+// Degradation support (the survivability layer, harness/chaos.h):
+// rebind() re-points the engine at a structurally different channel —
+// typically a FaultPlan-degraded one — rebuilding the shared index while
+// *keeping* the memo cache. Entries are keyed by the substrate
+// fingerprint (it participates in key equality, not just the hash), so
+// entries from other substrates can never be served wrongly, and
+// returning to a previously seen substrate re-hits its entries — that is
+// what makes recovery after a storm cheap. invalidate(fingerprint)
+// evicts exactly the entries of one substrate (fingerprint-delta-aware:
+// a storm only invalidates what it touched).
 #pragma once
 
 #include <chrono>
@@ -98,6 +109,7 @@ struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;  // entries evicted by invalidate()
   std::size_t size = 0;
   std::size_t capacity = 0;
 };
@@ -141,19 +153,32 @@ class BatchRouter {
       const std::vector<ConnectionSet>& batch,
       const EngineRouteOptions& opts = {});
 
+  /// Re-points the engine at `ch` (which must outlive it), rebuilding the
+  /// shared index. The memo cache is kept: entries are fingerprint-keyed,
+  /// so stale service is impossible and returning to a previously seen
+  /// substrate re-hits its entries. Not thread-safe against concurrent
+  /// route()/route_many() calls — quiesce the engine first.
+  void rebind(const SegmentedChannel& ch);
+
+  /// Evicts exactly the cache entries computed on the substrate with this
+  /// fingerprint, leaving every other substrate's entries hot.
+  void invalidate(std::uint64_t fingerprint);
+
   [[nodiscard]] CacheStats cache_stats() const;
   void clear_cache();
 
  private:
   struct CacheKey {
     std::string router;  // registry name the result came from
+    std::uint64_t fingerprint = 0;  // substrate the result was computed on
     int max_segments = 0;
     WeightKind weight = WeightKind::kNone;
     std::vector<std::pair<Column, Column>> conns;  // exact sequence
     std::uint64_t hash = 0;  // permutation-invariant, precomputed
 
     friend bool operator==(const CacheKey& a, const CacheKey& b) {
-      return a.max_segments == b.max_segments && a.weight == b.weight &&
+      return a.fingerprint == b.fingerprint &&
+             a.max_segments == b.max_segments && a.weight == b.weight &&
              a.router == b.router && a.conns == b.conns;
     }
   };
@@ -187,6 +212,7 @@ class BatchRouter {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t invalidations_ = 0;
 };
 
 }  // namespace segroute::engine

@@ -1,0 +1,120 @@
+// Deterministic chaos harness: seeded fault storms driving the batch
+// engine through degrade -> reroute -> recover cycles.
+//
+// A survivability claim is only as good as the torture test behind it.
+// run_chaos() drives one BatchRouter session through `cycles` storms:
+//
+//   degrade — a FaultPlan storm (severity ramping over
+//     `escalation_period` cycles, then resetting) is sampled from a
+//     per-cycle seed, canonicalised, and applied to the base channel.
+//     A total outage rolls the session back to the base checkpoint and
+//     skips the cycle.
+//   reroute — the engine is rebound to the degraded substrate and routes
+//     the workload batch. A complete routing is re-verified, mapped back
+//     to original-track coordinates, and checkpointed under the degraded
+//     fingerprint; a failure triggers the partial fallback (maximal
+//     verified subset, unrouted connections enumerated) and then a
+//     rollback of the live routing to the base checkpoint.
+//   recover — the engine is rebound to the base channel and re-routes
+//     the workload (a memo-cache hit: base entries survive degradation
+//     because cache keys carry the substrate fingerprint). The result
+//     must equal the base checkpoint bit for bit (`restore_mismatches`
+//     counts violations), and the degraded substrate's cache entries —
+//     and only those — are invalidated (fingerprint-delta-aware).
+//
+// Determinism contract: the harness never reads a clock or an unseeded
+// RNG; storm seeds come from one master mt19937_64, the routers run
+// unlimited budgets, and route_many() partitions statically. The report
+// digest (an FNV-1a over every cycle's outcome and the final live
+// routing) is therefore bit-identical across thread counts — the soak
+// test pins digests at 1, 2, and 8 threads against each other. Cache
+// *counters* may legally vary with thread interleaving (two threads can
+// both miss the same key); they are reported but excluded from the
+// digest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/connection.h"
+#include "core/routing.h"
+#include "engine/batch.h"
+#include "harness/checkpoint.h"
+
+namespace segroute::harness {
+
+struct ChaosOptions {
+  /// Master seed: everything (storm severities, fault sets) derives from
+  /// it. Equal seeds => equal reports, for any thread count.
+  std::uint64_t seed = 1;
+
+  /// Degrade -> reroute -> recover cycles to run.
+  int cycles = 200;
+
+  /// Worker threads for the engine's route_many (<= 0: hardware).
+  int threads = 1;
+
+  /// K-segment limit for every routing call (0 = unlimited).
+  int max_segments = 0;
+
+  /// Registry router carrying the workload.
+  std::string router = "dp";
+
+  /// Peak per-switch / per-segment failure probabilities. A cycle at
+  /// ramp position p in [1/escalation_period .. 1] uses p * max_*.
+  double max_switch_fail = 0.35;
+  double max_segment_fail = 0.15;
+
+  /// Storm severity ramps linearly over this many cycles, then resets —
+  /// every period ends in a heavy storm likely to force rollbacks.
+  int escalation_period = 16;
+
+  /// Attempt the partial fallback when the degraded reroute fails.
+  bool allow_partial = true;
+
+  /// Engine memo-cache capacity.
+  std::size_t cache_capacity = 256;
+};
+
+/// What one cycle did (everything deterministic; digested).
+struct ChaosCycle {
+  std::uint64_t storm_seed = 0;
+  std::uint64_t fingerprint = 0;  // degraded substrate (base fp on outage)
+  int faults = 0;                 // canonical faults applied
+  int switches_fused = 0;
+  int tracks_lost = 0;
+  bool outage = false;       // storm removed every track
+  bool rerouted = false;     // complete verified routing on the substrate
+  bool partial = false;      // partial fallback produced a verified subset
+  bool rolled_back = false;  // live routing rolled back to base checkpoint
+  int routed = 0;            // connections routed in the degrade phase
+};
+
+struct ChaosReport {
+  bool ok = false;  // baseline routed, no verify failures, no mismatches
+  int cycles = 0;
+  int storms = 0;             // cycles with a non-empty canonical fault set
+  std::uint64_t faults_applied = 0;
+  int reroutes = 0;
+  int partials = 0;
+  int rollbacks = 0;
+  int outages = 0;
+  int restore_mismatches = 0;  // recover phase disagreed with checkpoint
+  int verify_failures = 0;     // any phase produced an unverifiable routing
+  std::uint64_t digest = 0;    // FNV-1a over cycle outcomes + live routing
+  engine::CacheStats cache;    // counters only; excluded from the digest
+  CheckpointStats checkpoints;
+  std::vector<ChaosCycle> history;  // one record per cycle
+  std::string note;
+};
+
+/// Runs the chaos schedule against (ch, cs). The workload batch is the
+/// full set plus its 2/3 and 1/3 prefixes (distinct memo entries per
+/// substrate). Requires a routable baseline; an unroutable one fails
+/// fast with ok = false.
+ChaosReport run_chaos(const SegmentedChannel& ch, const ConnectionSet& cs,
+                      const ChaosOptions& opts = {});
+
+}  // namespace segroute::harness

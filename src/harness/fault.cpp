@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <random>
 #include <set>
+#include <tuple>
 #include <utility>
 
 namespace segroute::harness {
@@ -28,13 +29,56 @@ std::vector<Fault> FaultPlan::sample(const SegmentedChannel& ch) const {
   return faults;
 }
 
+std::vector<Fault> canonicalize(const SegmentedChannel& ch,
+                                const std::vector<Fault>& faults) {
+  const TrackId T = ch.num_tracks();
+  const Column W = ch.width();
+
+  // Pass 1: which tracks are withdrawn by a (valid) dead-segment fault.
+  std::vector<bool> dead(static_cast<std::size_t>(T), false);
+  for (const Fault& f : faults) {
+    if (f.track < 0 || f.track >= T) continue;
+    if (f.kind != Fault::Kind::kSegmentDead) continue;
+    if (f.column < 1 || f.column > W) continue;
+    dead[static_cast<std::size_t>(f.track)] = true;
+  }
+
+  // Pass 2: validate, normalise, dedupe.
+  std::set<std::tuple<TrackId, int, Column>> seen;
+  std::vector<Fault> out;
+  for (const Fault& f : faults) {
+    if (f.track < 0 || f.track >= T) continue;
+    const Track& tr = ch.track(f.track);
+    Fault g = f;
+    if (g.kind == Fault::Kind::kSegmentDead) {
+      if (g.column < 1 || g.column > W) continue;
+      g.column = tr.segment(tr.segment_at(g.column)).left;
+    } else {
+      if (dead[static_cast<std::size_t>(g.track)]) continue;  // moot
+      const auto switches = tr.switch_positions();
+      if (!std::binary_search(switches.begin(), switches.end(), g.column)) {
+        continue;  // no switch here — nothing to fuse
+      }
+    }
+    if (seen.insert({g.track, static_cast<int>(g.kind), g.column}).second) {
+      out.push_back(g);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Fault& a, const Fault& b) {
+    return std::tie(a.track, a.kind, a.column) <
+           std::tie(b.track, b.kind, b.column);
+  });
+  return out;
+}
+
 std::optional<FaultyChannel> apply(const SegmentedChannel& ch,
                                    const std::vector<Fault>& faults) {
   const TrackId T = ch.num_tracks();
+  const std::vector<Fault> canon = canonicalize(ch, faults);
+
   std::vector<bool> dead(static_cast<std::size_t>(T), false);
   std::vector<std::set<Column>> fused(static_cast<std::size_t>(T));
-  for (const Fault& f : faults) {
-    if (f.track < 0 || f.track >= T) continue;
+  for (const Fault& f : canon) {
     if (f.kind == Fault::Kind::kSegmentDead) {
       dead[static_cast<std::size_t>(f.track)] = true;
     } else {

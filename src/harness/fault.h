@@ -62,9 +62,27 @@ struct FaultPlan {
   [[nodiscard]] std::vector<Fault> sample(const SegmentedChannel& ch) const;
 };
 
-/// Materialises the channel surviving `faults`. Returns std::nullopt when
-/// no track survives (total outage). Stuck-closed faults on a withdrawn
-/// track are moot and simply dropped.
+/// Validates and dedupes a raw fault list against `ch`, producing the
+/// canonical set of *distinct physical defects* it describes:
+///  - faults naming an out-of-range track are dropped;
+///  - stuck-closed faults whose column is not an actual switch position
+///    of the track are dropped (there is nothing to fuse);
+///  - dead-segment faults are normalised to the left end of the
+///    containing segment, and dropped when the column is outside
+///    1..width (previously such a fault silently killed the track);
+///  - exact duplicates (after normalisation) are dropped, as are
+///    stuck-closed faults on a track already withdrawn by a dead
+///    segment — a fused switch on a dead wire is not a distinct defect;
+///  - the result is sorted by (track, kind, column), so equal defect
+///    sets canonicalise to equal lists.
+/// apply() canonicalises internally, so its `switches_fused` /
+/// `tracks_lost` counters cannot be inflated by duplicate or overlapping
+/// entries in the input.
+[[nodiscard]] std::vector<Fault> canonicalize(const SegmentedChannel& ch,
+                                              const std::vector<Fault>& faults);
+
+/// Materialises the channel surviving `faults` (canonicalised first; see
+/// above). Returns std::nullopt when no track survives (total outage).
 [[nodiscard]] std::optional<FaultyChannel> apply(
     const SegmentedChannel& ch, const std::vector<Fault>& faults);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <mutex>
 #include <thread>
@@ -10,6 +11,7 @@
 
 #include "util/pool.h"
 
+#include "alg/partial.h"
 #include "alg/registry.h"
 #include "core/channel_index.h"
 #include "core/router.h"
@@ -28,6 +30,31 @@ namespace {
 std::vector<StageSpec> default_cascade() {
   return {{"dp", {}}, {"greedy1", {}}, {"match1", {}}, {"lp", {}},
           {"anneal", {}}};
+}
+
+/// A budget with its deadline and tick cap multiplied by `factor` (the
+/// ladder's escalation; 1.0 = unchanged). Cancellation passes through.
+Budget scale_budget(Budget b, double factor) {
+  if (factor > 1.0) {
+    if (b.deadline) {
+      b.deadline = std::chrono::milliseconds(
+          static_cast<std::chrono::milliseconds::rep>(
+              std::ceil(static_cast<double>(b.deadline->count()) * factor)));
+    }
+    if (b.max_ticks > 0) {
+      b.max_ticks = static_cast<std::uint64_t>(
+          std::ceil(static_cast<double>(b.max_ticks) * factor));
+    }
+  }
+  return b;
+}
+
+std::chrono::milliseconds scale_ms(std::chrono::milliseconds d,
+                                   double factor) {
+  if (factor <= 1.0) return d;
+  return std::chrono::milliseconds(
+      static_cast<std::chrono::milliseconds::rep>(
+          std::ceil(static_cast<double>(d.count()) * factor)));
 }
 
 RouteResult run_stage(const RouterEntry& e, const SegmentedChannel& ch,
@@ -125,6 +152,39 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
   const ChannelIndex index(*substrate);
   const RouteVerifier verifier(*substrate, cs, &index);
 
+  // Substrate-coordinate routing -> original-track coordinates.
+  const auto map_back = [&](const Routing& r) {
+    if (!degraded) return r;
+    Routing mapped(cs.size());
+    for (ConnId i = 0; i < cs.size(); ++i) {
+      const TrackId t = r.track_of(i);
+      if (t != kNoTrack) mapped.assign(i, degraded->kept_tracks[t]);
+    }
+    return mapped;
+  };
+
+  // Checkpoint fast-path: a verified routing saved earlier for this very
+  // substrate answers a feasibility call without running any stage. The
+  // restore re-verifies, so a stale or corrupt checkpoint falls through
+  // to the cascade instead of being served.
+  if (opts.checkpoints && !opts.weight) {
+    VerifyOptions vo;
+    vo.max_segments = opts.max_segments;
+    if (auto ckpt = opts.checkpoints->restore(index.fingerprint(), *substrate,
+                                              cs, vo)) {
+      report.success = true;
+      report.winner = "checkpoint";
+      report.routing = map_back(ckpt->routing);
+      report.note = "restored checkpoint (saved by " +
+                    (ckpt->source.empty() ? std::string("?") : ckpt->source) +
+                    ")";
+      report.elapsed_ms = ms_since(t0);
+      SEGROUTE_COUNT("recover.checkpoint_hits", 1);
+      SEGROUTE_SPAN_TAG(route_span, "outcome", "checkpoint");
+      return report;
+    }
+  }
+
   // Best verified candidate so far (optimizing mode accumulates; in
   // feasibility mode the first one ends the serial cascade or the race).
   // Names point into the registry (static strings, usable as span tags).
@@ -133,55 +193,200 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
   double best_weight = std::numeric_limits<double>::infinity();
   const char* best_name = "?";
 
-  std::optional<Clock::time_point> overall_deadline;
-  if (opts.deadline) overall_deadline = t0 + *opts.deadline;
-
   bool proven_infeasible = false;
   const char* proven_name = "?";
   std::string proven_note;
 
-  if (opts.race && cascade.size() > 1) {
-    // Racing mode: every stage runs concurrently with the full deadline;
-    // the race flag doubles as the losers' cooperative-cancel signal.
-    // Seeded from the external flag so a request that arrived before the
-    // race even starts is honored without waiting on the watcher's poll.
-    std::atomic<bool> race_stop{
-        opts.cancel && opts.cancel->load(std::memory_order_relaxed)};
-    std::atomic<bool> all_done{false};
-    std::mutex mu;  // guards the best-candidate state above
-    std::vector<StageReport> srs(cascade.size());
-
-    // Chain an external cancellation request into the race flag.
-    std::thread watcher;
-    if (opts.cancel) {
-      watcher = std::thread([&] {
-        while (!all_done.load(std::memory_order_relaxed)) {
-          if (opts.cancel->load(std::memory_order_relaxed)) {
-            race_stop.store(true, std::memory_order_relaxed);
-            return;
-          }
-          std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        }
-      });
+  // One cascade pass with every budget scaled by `factor`; appends its
+  // stage reports (tagged with `round`) and returns true when any stage
+  // died of budget exhaustion (the ladder's retry signal).
+  const auto run_pass = [&](int round, double factor) -> bool {
+    const auto pass_t0 = Clock::now();
+    bool pass_budget_exhausted = false;
+    std::optional<Clock::time_point> overall_deadline;
+    std::optional<std::chrono::milliseconds> pass_deadline;
+    if (opts.deadline) {
+      pass_deadline = scale_ms(*opts.deadline, factor);
+      overall_deadline = pass_t0 + *pass_deadline;
     }
 
-    const auto race_one = [&](std::size_t k) {
+    if (opts.race && cascade.size() > 1) {
+      // Racing mode: every stage runs concurrently with the full deadline;
+      // the race flag doubles as the losers' cooperative-cancel signal.
+      // Seeded from the external flag so a request that arrived before the
+      // race even starts is honored without waiting on the watcher's poll.
+      std::atomic<bool> race_stop{
+          opts.cancel && opts.cancel->load(std::memory_order_relaxed)};
+      std::atomic<bool> all_done{false};
+      std::mutex mu;  // guards the best-candidate state above
+      std::vector<StageReport> srs(cascade.size());
+
+      // Chain an external cancellation request into the race flag.
+      std::thread watcher;
+      if (opts.cancel) {
+        watcher = std::thread([&] {
+          while (!all_done.load(std::memory_order_relaxed)) {
+            if (opts.cancel->load(std::memory_order_relaxed)) {
+              race_stop.store(true, std::memory_order_relaxed);
+              return;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        });
+      }
+
+      const auto race_one = [&](std::size_t k) {
+        const StageSpec& spec = cascade[k];
+        const RouterEntry* entry = alg::find_router(spec.router);
+        // Named by the router (static registry string) so the race lanes
+        // read directly in a trace viewer; re-tagged with the outcome
+        // below.
+        const char* rname = entry ? entry->name : "unknown-router";
+        SEGROUTE_SPAN(stage_span, rname, "router", rname);
+        bool won = false;
+        StageReport sr;
+        sr.router = spec.router;
+        sr.attempted = true;
+        sr.round = round;
+        Budget b = scale_budget(spec.budget, factor);
+        b.cancel = &race_stop;
+        if (pass_deadline) {
+          b.deadline = b.deadline ? std::min(*b.deadline, *pass_deadline)
+                                  : *pass_deadline;
+        }
+        const auto stage_t0 = Clock::now();
+        RouteResult r;
+        if (entry) {
+          r = run_stage(*entry, *substrate, cs, opts, b, index);
+        } else {
+          r.fail(FailureKind::kInvalidInput,
+                 "unknown router \"" + spec.router + "\"");
+        }
+        sr.elapsed_ms = ms_since(stage_t0);
+        sr.success = r.success;
+        sr.failure = r.failure;
+        sr.note = r.note;
+
+        if (r.success) {
+          VerifyOptions vo;
+          vo.max_segments = opts.max_segments;
+          if (stage_reports_weight(*entry, opts)) {
+            vo.weight = opts.weight;  // expectation = r.weight (checked)
+          }
+          const VerifyResult v = verifier.check(r, vo);
+          if (!v) {
+            sr.success = false;
+            sr.failure = FailureKind::kVerificationFailed;
+            sr.note = std::string(to_string(v.error)) + ": " + v.detail;
+          } else {
+            sr.verified = true;
+            double w = r.weight;
+            if (opts.weight && !stage_reports_weight(*entry, opts)) {
+              w = total_weight(*substrate, cs, r.routing, *opts.weight);
+            }
+            sr.weight = w;
+            std::lock_guard<std::mutex> lock(mu);
+            if (!opts.weight) {
+              // Feasibility race: first verified success wins.
+              if (!have_candidate) {
+                best_routing = r.routing;
+                best_name = entry->name;
+                have_candidate = true;
+                won = true;
+                race_stop.store(true, std::memory_order_relaxed);
+              }
+            } else {
+              if (!have_candidate || w < best_weight) {
+                best_routing = r.routing;
+                best_weight = w;
+                best_name = entry->name;
+                have_candidate = true;
+                won = true;
+              }
+              if (exact_optimal(*entry, opts, r)) {
+                race_stop.store(true, std::memory_order_relaxed);
+              }
+            }
+          }
+        } else if (entry && proves_infeasible(*entry, opts, r)) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!proven_infeasible) {
+            proven_infeasible = true;
+            proven_name = entry->name;
+            proven_note = sr.note;
+            won = true;  // the race ends on this stage's proof
+          }
+          race_stop.store(true, std::memory_order_relaxed);
+        }
+        SEGROUTE_SPAN_TAG(stage_span, "outcome",
+                          sr.success ? "success" : to_string(sr.failure));
+        // Winner/loser annotation while the stage span is still open, so
+        // the instant nests under it in the trace. In optimizing mode
+        // "winner" means "took (or kept) the lead when it finished".
+        SEGROUTE_INSTANT(won ? "robust.race.winner" : "robust.race.loser",
+                         "router", rname);
+        srs[k] = std::move(sr);  // distinct slot per stage, no lock needed
+      };
+
+      if (pass_deadline) {
+        SEGROUTE_GAUGE_SET(
+            "robust.budget_remaining_ms",
+            (std::chrono::duration<double, std::milli>(*pass_deadline)
+                 .count()));
+      }
+      util::ThreadPool pool(static_cast<int>(cascade.size()));
+      pool.parallel_for(static_cast<std::int64_t>(cascade.size()),
+                        [&](std::int64_t k) {
+                          race_one(static_cast<std::size_t>(k));
+                        });
+      all_done.store(true, std::memory_order_relaxed);
+      if (watcher.joinable()) watcher.join();
+      for (auto& sr : srs) {
+        if (sr.failure == FailureKind::kBudgetExhausted) {
+          pass_budget_exhausted = true;
+        }
+        report.stages.push_back(std::move(sr));
+      }
+      return pass_budget_exhausted;
+    }
+
+    for (std::size_t k = 0; k < cascade.size(); ++k) {
       const StageSpec& spec = cascade[k];
       const RouterEntry* entry = alg::find_router(spec.router);
-      // Named by the router (static registry string) so the race lanes
-      // read directly in a trace viewer; re-tagged with the outcome below.
       const char* rname = entry ? entry->name : "unknown-router";
       SEGROUTE_SPAN(stage_span, rname, "router", rname);
-      bool won = false;
       StageReport sr;
       sr.router = spec.router;
-      sr.attempted = true;
-      Budget b = spec.budget;
-      b.cancel = &race_stop;
-      if (opts.deadline) {
-        b.deadline =
-            b.deadline ? std::min(*b.deadline, *opts.deadline) : *opts.deadline;
+      sr.round = round;
+
+      // This stage's slice: remaining deadline split over remaining
+      // stages (later stages inherit unspent time), meeting any per-stage
+      // budget.
+      Budget b = scale_budget(spec.budget, factor);
+      if (!b.cancel) b.cancel = opts.cancel;
+      if (overall_deadline) {
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                *overall_deadline - Clock::now());
+        // Stage-boundary sample of the time budget still unspent.
+        SEGROUTE_GAUGE_SET("robust.budget_remaining_ms",
+                           std::max<std::chrono::milliseconds::rep>(
+                               0, remaining.count()));
+        if (remaining.count() <= 0) {
+          sr.failure = FailureKind::kBudgetExhausted;
+          sr.note = "overall deadline exhausted before stage started";
+          SEGROUTE_SPAN_TAG(stage_span, "outcome", to_string(sr.failure));
+          pass_budget_exhausted = true;
+          report.stages.push_back(std::move(sr));
+          continue;
+        }
+        const auto slice = std::max<std::chrono::milliseconds::rep>(
+            1, remaining.count() / static_cast<long long>(cascade.size() - k));
+        const std::chrono::milliseconds slice_ms(slice);
+        b.deadline = b.deadline ? std::min(*b.deadline, slice_ms) : slice_ms;
       }
+
+      sr.attempted = true;
       const auto stage_t0 = Clock::now();
       RouteResult r;
       if (entry) {
@@ -194,6 +399,9 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
       sr.success = r.success;
       sr.failure = r.failure;
       sr.note = r.note;
+      if (sr.failure == FailureKind::kBudgetExhausted) {
+        pass_budget_exhausted = true;
+      }
 
       if (r.success) {
         VerifyOptions vo;
@@ -213,157 +421,113 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
             w = total_weight(*substrate, cs, r.routing, *opts.weight);
           }
           sr.weight = w;
-          std::lock_guard<std::mutex> lock(mu);
+          SEGROUTE_SPAN_TAG(stage_span, "outcome", "success");
           if (!opts.weight) {
-            // Feasibility race: first verified success wins.
-            if (!have_candidate) {
-              best_routing = r.routing;
-              best_name = entry->name;
-              have_candidate = true;
-              won = true;
-              race_stop.store(true, std::memory_order_relaxed);
-            }
-          } else {
-            if (!have_candidate || w < best_weight) {
-              best_routing = r.routing;
-              best_weight = w;
-              best_name = entry->name;
-              have_candidate = true;
-              won = true;
-            }
-            if (exact_optimal(*entry, opts, r)) {
-              race_stop.store(true, std::memory_order_relaxed);
-            }
+            // Feasibility mode: first verified routing wins.
+            best_routing = r.routing;
+            best_name = entry->name;
+            have_candidate = true;
+            report.stages.push_back(std::move(sr));
+            break;
           }
+          if (!have_candidate || w < best_weight) {
+            best_routing = r.routing;
+            best_weight = w;
+            best_name = entry->name;
+            have_candidate = true;
+          }
+          const bool optimal = exact_optimal(*entry, opts, r);
+          report.stages.push_back(std::move(sr));
+          if (optimal) break;
+          continue;
         }
       } else if (entry && proves_infeasible(*entry, opts, r)) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (!proven_infeasible) {
-          proven_infeasible = true;
-          proven_name = entry->name;
-          proven_note = sr.note;
-          won = true;  // the race ends on this stage's proof
-        }
-        race_stop.store(true, std::memory_order_relaxed);
+        proven_infeasible = true;
+        proven_name = entry->name;
+        proven_note = sr.note;
+        SEGROUTE_SPAN_TAG(stage_span, "outcome", to_string(sr.failure));
+        report.stages.push_back(std::move(sr));
+        break;
       }
       SEGROUTE_SPAN_TAG(stage_span, "outcome",
                         sr.success ? "success" : to_string(sr.failure));
-      // Winner/loser annotation while the stage span is still open, so
-      // the instant nests under it in the trace. In optimizing mode
-      // "winner" means "took (or kept) the lead when it finished".
-      SEGROUTE_INSTANT(won ? "robust.race.winner" : "robust.race.loser",
-                       "router", rname);
-      srs[k] = std::move(sr);  // distinct slot per stage, no lock needed
-    };
-
-    if (opts.deadline) {
-      SEGROUTE_GAUGE_SET(
-          "robust.budget_remaining_ms",
-          (std::chrono::duration<double, std::milli>(*opts.deadline).count()));
-    }
-    util::ThreadPool pool(static_cast<int>(cascade.size()));
-    pool.parallel_for(static_cast<std::int64_t>(cascade.size()),
-                      [&](std::int64_t k) {
-                        race_one(static_cast<std::size_t>(k));
-                      });
-    all_done.store(true, std::memory_order_relaxed);
-    if (watcher.joinable()) watcher.join();
-    for (auto& sr : srs) report.stages.push_back(std::move(sr));
-  } else
-  for (std::size_t k = 0; k < cascade.size(); ++k) {
-    const StageSpec& spec = cascade[k];
-    const RouterEntry* entry = alg::find_router(spec.router);
-    const char* rname = entry ? entry->name : "unknown-router";
-    SEGROUTE_SPAN(stage_span, rname, "router", rname);
-    StageReport sr;
-    sr.router = spec.router;
-
-    // This stage's slice: remaining deadline split over remaining stages
-    // (later stages inherit unspent time), meeting any per-stage budget.
-    Budget b = spec.budget;
-    if (!b.cancel) b.cancel = opts.cancel;
-    if (overall_deadline) {
-      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
-          *overall_deadline - Clock::now());
-      // Stage-boundary sample of the time budget still unspent.
-      SEGROUTE_GAUGE_SET("robust.budget_remaining_ms",
-                         std::max<std::chrono::milliseconds::rep>(
-                             0, remaining.count()));
-      if (remaining.count() <= 0) {
-        sr.failure = FailureKind::kBudgetExhausted;
-        sr.note = "overall deadline exhausted before stage started";
-        SEGROUTE_SPAN_TAG(stage_span, "outcome", to_string(sr.failure));
-        report.stages.push_back(std::move(sr));
-        continue;
-      }
-      const auto slice = std::max<std::chrono::milliseconds::rep>(
-          1, remaining.count() / static_cast<long long>(cascade.size() - k));
-      const std::chrono::milliseconds slice_ms(slice);
-      b.deadline = b.deadline ? std::min(*b.deadline, slice_ms) : slice_ms;
-    }
-
-    sr.attempted = true;
-    const auto stage_t0 = Clock::now();
-    RouteResult r;
-    if (entry) {
-      r = run_stage(*entry, *substrate, cs, opts, b, index);
-    } else {
-      r.fail(FailureKind::kInvalidInput,
-             "unknown router \"" + spec.router + "\"");
-    }
-    sr.elapsed_ms = ms_since(stage_t0);
-    sr.success = r.success;
-    sr.failure = r.failure;
-    sr.note = r.note;
-
-    if (r.success) {
-      VerifyOptions vo;
-      vo.max_segments = opts.max_segments;
-      if (stage_reports_weight(*entry, opts)) {
-        vo.weight = opts.weight;  // expectation = r.weight (checked)
-      }
-      const VerifyResult v = verifier.check(r, vo);
-      if (!v) {
-        sr.success = false;
-        sr.failure = FailureKind::kVerificationFailed;
-        sr.note = std::string(to_string(v.error)) + ": " + v.detail;
-      } else {
-        sr.verified = true;
-        double w = r.weight;
-        if (opts.weight && !stage_reports_weight(*entry, opts)) {
-          w = total_weight(*substrate, cs, r.routing, *opts.weight);
-        }
-        sr.weight = w;
-        SEGROUTE_SPAN_TAG(stage_span, "outcome", "success");
-        if (!opts.weight) {
-          // Feasibility mode: first verified routing wins.
-          best_routing = r.routing;
-          best_name = entry->name;
-          have_candidate = true;
-          report.stages.push_back(std::move(sr));
-          break;
-        }
-        if (!have_candidate || w < best_weight) {
-          best_routing = r.routing;
-          best_weight = w;
-          best_name = entry->name;
-          have_candidate = true;
-        }
-        const bool optimal = exact_optimal(*entry, opts, r);
-        report.stages.push_back(std::move(sr));
-        if (optimal) break;
-        continue;
-      }
-    } else if (entry && proves_infeasible(*entry, opts, r)) {
-      proven_infeasible = true;
-      proven_name = entry->name;
-      proven_note = sr.note;
-      SEGROUTE_SPAN_TAG(stage_span, "outcome", to_string(sr.failure));
       report.stages.push_back(std::move(sr));
-      break;
     }
-    SEGROUTE_SPAN_TAG(stage_span, "outcome",
-                      sr.success ? "success" : to_string(sr.failure));
+    return pass_budget_exhausted;
+  };
+
+  // The degradation ladder: re-run the whole cascade with escalated
+  // budgets while passes keep dying of budget exhaustion. One round (the
+  // default) is exactly the pre-ladder cascade.
+  const int max_rounds = std::max(1, opts.ladder.max_rounds);
+  const double escalation = std::max(1.0, opts.ladder.escalation);
+  int rounds_run = 0;
+  for (int round = 0; round < max_rounds; ++round) {
+    if (round > 0) {
+      // Capped exponential backoff before each retry.
+      auto pause = opts.ladder.backoff;
+      for (int d = 1; d < round; ++d) {
+        pause = std::min(pause * 2, opts.ladder.max_backoff);
+      }
+      pause = std::min(pause, opts.ladder.max_backoff);
+      if (pause.count() > 0) std::this_thread::sleep_for(pause);
+      SEGROUTE_COUNT("robust.ladder_retries", 1);
+      SEGROUTE_INSTANT("robust.ladder_retry", "round", round);
+    }
+    const bool pass_budget_exhausted =
+        run_pass(round, std::pow(escalation, round));
+    ++rounds_run;
+    if (have_candidate || proven_infeasible) break;
+    if (opts.cancel && opts.cancel->load(std::memory_order_relaxed)) break;
+    // Retrying only helps when a stage actually ran out of budget; pure
+    // kInfeasible/kInvalidInput passes would just repeat themselves.
+    if (!pass_budget_exhausted) break;
+  }
+  report.rounds = rounds_run;
+
+  // Partial fallback: no stage completed (possibly *provably* so) — route
+  // what we can and enumerate the rest, rather than return nothing.
+  if (!have_candidate && opts.allow_partial) {
+    SEGROUTE_SPAN(partial_span, "robust.partial");
+    const auto partial_t0 = Clock::now();
+    StageReport sr;
+    sr.router = "partial";
+    sr.attempted = true;
+    sr.round = rounds_run > 0 ? rounds_run - 1 : 0;
+    alg::PartialOptions po;
+    po.max_segments = opts.max_segments;
+    if (opts.cancel) po.budget.cancel = opts.cancel;
+    RouteContext pctx;
+    pctx.index = &index;
+    const RouteResult pr = alg::partial_route(*substrate, cs, po, pctx);
+    sr.elapsed_ms = ms_since(partial_t0);
+    sr.success = pr.success;
+    sr.failure = pr.failure;
+    sr.note = pr.note;
+
+    VerifyOptions vo;
+    vo.max_segments = opts.max_segments;
+    vo.require_complete = false;
+    const VerifyResult v = verifier.check(pr.routing, vo);
+    if (!v) {
+      sr.success = false;
+      sr.failure = FailureKind::kVerificationFailed;
+      sr.note = std::string(to_string(v.error)) + ": " + v.detail;
+    } else if (pr.success) {
+      // The greedy rung routed everything the cascade could not.
+      sr.verified = true;
+      best_routing = pr.routing;
+      best_name = "partial";
+      have_candidate = true;
+    } else {
+      sr.verified = true;  // the subset is independently verified
+      report.partial = true;
+      report.unrouted = pr.unrouted;
+      report.routing = map_back(pr.routing);
+      SEGROUTE_COUNT("robust.partial_routes", 1);
+    }
+    SEGROUTE_SPAN_TAG(partial_span, "outcome",
+                      sr.verified ? "verified" : to_string(sr.failure));
     report.stages.push_back(std::move(sr));
   }
 
@@ -371,16 +535,16 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
     report.success = true;
     report.winner = best_name;
     if (opts.weight) report.weight = best_weight;
-    report.routing = best_routing;
-    if (degraded) {
-      // Map back to original track ids.
-      Routing mapped(cs.size());
-      for (ConnId i = 0; i < cs.size(); ++i) {
-        const TrackId t = best_routing.track_of(i);
-        if (t != kNoTrack) mapped.assign(i, degraded->kept_tracks[t]);
-      }
-      report.routing = mapped;
+    // Save under the *substrate* fingerprint, in substrate coordinates —
+    // exactly what a later call on the same (possibly degraded) channel
+    // needs back.
+    if (opts.checkpoints) {
+      opts.checkpoints->save(
+          index.fingerprint(), best_routing,
+          opts.weight ? std::optional<double>(best_weight) : std::nullopt,
+          best_name);
     }
+    report.routing = map_back(best_routing);
     report.note = std::string("routed by stage ") + best_name;
     SEGROUTE_INSTANT("robust.winner", "router", best_name);
   } else if (proven_infeasible) {
@@ -413,6 +577,11 @@ RouteReport robust_route(const SegmentedChannel& ch, const ConnectionSet& cs,
                           "exact stage ran to completion)"
                         : "empty cascade";
     }
+  }
+  if (report.partial) {
+    report.note += "; partial fallback routed " +
+                   std::to_string(report.routing.num_assigned()) + " of " +
+                   std::to_string(cs.size()) + " connections";
   }
   SEGROUTE_SPAN_TAG(route_span, "outcome",
                     report.success ? "success" : to_string(report.failure));

@@ -44,6 +44,29 @@
 // returned routing is mapped back to original track ids and the report
 // records what was lost. Verification runs against the degraded channel
 // (the substrate that was actually routed).
+//
+// Degradation ladder (RobustOptions::ladder): when a whole cascade pass
+// ends in budget exhaustion — no candidate, no infeasibility proof, not
+// cancelled — the pass is retried up to max_rounds times with every
+// budget (overall deadline, per-stage deadlines and tick caps) scaled by
+// escalation^round, after a capped exponential backoff pause. Tick-only
+// budgets keep the ladder fully deterministic.
+//
+// Partial fallback (RobustOptions::allow_partial): when no stage
+// produces a complete routing — even when the instance is *proven*
+// infeasible as a whole — a final rung runs alg::partial_route and
+// reports the maximal verified subset: RouteReport::partial is set,
+// `routing` holds the subset (mapped back through any fault
+// degradation), and `unrouted` enumerates every unassigned connection
+// with a per-connection FailureKind. `success` stays false, so
+// all-or-nothing callers are unaffected.
+//
+// Checkpoints (RobustOptions::checkpoints): a borrowed CheckpointStore
+// turns repeated calls into a recovery protocol. Every verified complete
+// routing is saved under the *substrate* fingerprint (post-degradation),
+// and a feasibility-mode call first tries to restore a checkpoint for
+// its substrate — re-verified before use — skipping the cascade
+// entirely on a hit (winner "checkpoint").
 #pragma once
 
 #include <chrono>
@@ -56,6 +79,7 @@
 #include "core/connection.h"
 #include "core/weights.h"
 #include "harness/budget.h"
+#include "harness/checkpoint.h"
 #include "harness/fault.h"
 #include "harness/verify.h"
 
@@ -69,6 +93,25 @@ namespace segroute::harness {
 struct StageSpec {
   std::string router;
   Budget budget;
+};
+
+/// Retry policy for the degradation ladder: how many times the whole
+/// cascade is re-run with escalated budgets when a pass dies of budget
+/// exhaustion. The defaults (one round) reproduce the pre-ladder
+/// behaviour exactly.
+struct LadderSpec {
+  /// Total cascade passes (1 = no retries).
+  int max_rounds = 1;
+
+  /// Budget multiplier per round: round r runs with every deadline and
+  /// tick cap scaled by escalation^r. Values <= 1 retry un-escalated.
+  double escalation = 2.0;
+
+  /// Pause before the first retry; doubled each further retry, capped at
+  /// max_backoff. Zero (the default) never sleeps — use ticks-only
+  /// budgets plus zero backoff for fully deterministic ladders.
+  std::chrono::milliseconds backoff{0};
+  std::chrono::milliseconds max_backoff{100};
 };
 
 struct RobustOptions {
@@ -101,6 +144,18 @@ struct RobustOptions {
 
   /// When set, sample and apply hardware faults before routing.
   std::optional<FaultPlan> faults;
+
+  /// Degradation-ladder retry policy (see file comment). The default is
+  /// a single round — identical to the pre-ladder cascade.
+  LadderSpec ladder;
+
+  /// Run the partial-routing rung when no stage completes: report the
+  /// maximal verified subset instead of an all-or-nothing failure.
+  bool allow_partial = false;
+
+  /// Borrowed checkpoint store (must outlive the call); enables the
+  /// save-on-success / restore-on-repeat recovery protocol. Null = off.
+  CheckpointStore* checkpoints = nullptr;
 };
 
 /// What happened in one cascade stage.
@@ -113,6 +168,7 @@ struct StageReport {
   std::string note;        // router note / verifier detail / skip reason
   double weight = 0.0;     // candidate total weight (optimizing mode)
   double elapsed_ms = 0.0;
+  int round = 0;           // ladder round this stage ran in (0-based)
 };
 
 /// Outcome of the whole cascade.
@@ -130,6 +186,16 @@ struct RouteReport {
   bool faults_applied = false;
   int switches_fused = 0;
   int tracks_lost = 0;
+
+  // Degradation-ladder summary.
+  int rounds = 1;  // cascade passes actually run
+
+  // Partial fallback (allow_partial): `partial` means `routing` holds a
+  // verified subset (original-track coordinates) and `unrouted` lists
+  // every unassigned connection with its per-connection FailureKind.
+  // success stays false.
+  bool partial = false;
+  std::vector<alg::ConnFailure> unrouted;
 
   explicit operator bool() const { return success; }
 };

@@ -386,5 +386,83 @@ TEST(BatchRouter, RouteManyMatchesDirectOnInfeasibleAndMixedBatches) {
   EXPECT_GT(no, 0);
 }
 
+TEST(BatchRouter, RebindRoutesOnTheNewSubstrate) {
+  const auto ch = gen::staggered_segmentation(6, 32, 8);
+  std::mt19937_64 rng(90);
+  const auto cs = gen::routable_workload(ch, 10, 5.0, rng);
+
+  BatchRouter router(ch);
+  const std::uint64_t base_fp = router.index().fingerprint();
+  const auto base = router.route(cs);
+  ASSERT_TRUE(base.success);
+
+  // Degrade the channel and rebind: the engine must route on the
+  // degraded substrate and match the direct path bit for bit.
+  const auto degraded = harness::apply(
+      ch, {{harness::Fault::Kind::kSegmentDead, 0, 1}});
+  ASSERT_TRUE(degraded.has_value());
+  router.rebind(degraded->channel);
+  const std::uint64_t deg_fp = router.index().fingerprint();
+  EXPECT_NE(deg_fp, base_fp);
+  const auto on_degraded = router.route(cs);
+  EXPECT_TRUE(
+      same_result(on_degraded, alg::dp_route_unlimited(degraded->channel, cs)));
+
+  // Rebinding back serves the base entry from the memo cache: the cache
+  // key carries the substrate fingerprint, so the degraded result can
+  // never shadow the base one.
+  router.rebind(ch);
+  const auto back = router.route(cs);
+  EXPECT_TRUE(same_result(back, base));
+  EXPECT_EQ(router.cache_stats().hits, 1u);
+}
+
+TEST(BatchRouter, InvalidateEvictsOnlyTheMatchingFingerprint) {
+  const auto ch = gen::staggered_segmentation(6, 32, 8);
+  std::mt19937_64 rng(91);
+  const auto cs = gen::routable_workload(ch, 10, 5.0, rng);
+
+  BatchRouter router(ch);
+  const std::uint64_t base_fp = router.index().fingerprint();
+  (void)router.route(cs);  // base entry
+
+  const auto degraded = harness::apply(
+      ch, {{harness::Fault::Kind::kSegmentDead, 0, 1}});
+  ASSERT_TRUE(degraded.has_value());
+  router.rebind(degraded->channel);
+  const std::uint64_t deg_fp = router.index().fingerprint();
+  (void)router.route(cs);  // degraded entry
+  EXPECT_EQ(router.cache_stats().size, 2u);
+
+  // Evict the degraded substrate's entries; the base entry stays hot.
+  router.invalidate(deg_fp);
+  EXPECT_EQ(router.cache_stats().size, 1u);
+  EXPECT_EQ(router.cache_stats().invalidations, 1u);
+
+  router.rebind(ch);
+  (void)router.route(cs);
+  EXPECT_EQ(router.cache_stats().hits, 1u);  // base entry survived
+
+  // Invalidating the base fingerprint empties the cache; an unknown
+  // fingerprint is a no-op.
+  router.invalidate(base_fp);
+  EXPECT_EQ(router.cache_stats().size, 0u);
+  router.invalidate(0xdeadbeef);
+  EXPECT_EQ(router.cache_stats().invalidations, 2u);
+}
+
+TEST(BatchRouter, UnknownRouterIsInvalidInputNotACrash) {
+  const auto ch = gen::staggered_segmentation(4, 16, 4);
+  std::mt19937_64 rng(92);
+  const auto cs = gen::routable_workload(ch, 4, 4.0, rng);
+  BatchRouter router(ch);
+  EngineRouteOptions eo;
+  eo.router = "no-such-router";
+  const auto r = router.route(cs, eo);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.failure, alg::FailureKind::kInvalidInput);
+  EXPECT_NE(r.note.find("no-such-router"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace segroute::engine

@@ -13,6 +13,7 @@
 #include "alg/exhaustive.h"
 #include "alg/greedy1.h"
 #include "alg/lp_route.h"
+#include "core/channel_index.h"
 #include "core/routing.h"
 #include "core/weights.h"
 #include "gen/suite.h"
@@ -255,6 +256,95 @@ TEST(FaultInjection, SamplingIsDeterministicAndProbabilityOneIsTotal) {
   FaultPlan all;
   all.switch_fail_prob = 1.0;
   EXPECT_EQ(all.sample(ch).size(), 12u);  // every switch of every track
+}
+
+TEST(FaultInjection, AllTracksDeadIsATotalOutage) {
+  const auto ch = SegmentedChannel::identical(3, 8, {4});
+  EXPECT_FALSE(apply(ch, {{Fault::Kind::kSegmentDead, 0, 2},
+                          {Fault::Kind::kSegmentDead, 1, 5},
+                          {Fault::Kind::kSegmentDead, 2, 8}})
+                   .has_value());
+}
+
+TEST(FaultInjection, FaultsAtTheLastColumnAreHandled) {
+  const auto ch = SegmentedChannel::identical(2, 8, {4});
+  // Column 8 is the channel's last column but not a switch position:
+  // there is nothing to fuse, so canonicalisation drops the fault.
+  EXPECT_TRUE(canonicalize(ch, {{Fault::Kind::kSwitchStuckClosed, 0, 8}})
+                  .empty());
+  const auto fused = apply(ch, {{Fault::Kind::kSwitchStuckClosed, 0, 8}});
+  ASSERT_TRUE(fused.has_value());
+  EXPECT_EQ(fused->switches_fused, 0);
+  EXPECT_EQ(fused->channel.track(0).num_segments(), 2);
+
+  // A dead segment AT the last column is in range and withdraws the track.
+  const auto dead = apply(ch, {{Fault::Kind::kSegmentDead, 0, 8}});
+  ASSERT_TRUE(dead.has_value());
+  EXPECT_EQ(dead->tracks_lost, 1);
+  ASSERT_EQ(dead->kept_tracks.size(), 1u);
+  EXPECT_EQ(dead->kept_tracks[0], 1);
+
+  // One past the last column is out of range: dropped, track survives.
+  EXPECT_TRUE(canonicalize(ch, {{Fault::Kind::kSegmentDead, 0, 9}}).empty());
+  const auto beyond = apply(ch, {{Fault::Kind::kSegmentDead, 0, 9}});
+  ASSERT_TRUE(beyond.has_value());
+  EXPECT_EQ(beyond->tracks_lost, 0);
+  EXPECT_EQ(beyond->channel.num_tracks(), 2);
+}
+
+TEST(FaultInjection, StuckClosedOnSingleSegmentTrackIsDropped) {
+  const auto ch = SegmentedChannel::unsegmented(1, 8);  // no switches at all
+  EXPECT_TRUE(canonicalize(ch, {{Fault::Kind::kSwitchStuckClosed, 0, 4}})
+                  .empty());
+  const auto out = apply(ch, {{Fault::Kind::kSwitchStuckClosed, 0, 4}});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->switches_fused, 0);
+  EXPECT_EQ(out->channel.track(0).num_segments(), 1);
+}
+
+TEST(FaultInjection, EmptyPlanRoundTripsBitIdentically) {
+  const auto ch = SegmentedChannel::identical(3, 12, {4, 8});
+  FaultPlan plan;  // both probabilities zero
+  const auto faults = plan.sample(ch);
+  EXPECT_TRUE(faults.empty());
+  const auto out = harness::apply(ch, faults);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->switches_fused, 0);
+  EXPECT_EQ(out->tracks_lost, 0);
+  ASSERT_EQ(out->kept_tracks.size(), 3u);
+  for (TrackId t = 0; t < 3; ++t) EXPECT_EQ(out->kept_tracks[t], t);
+  // The surviving channel is structurally bit-identical to the original.
+  EXPECT_EQ(ChannelIndex(ch).fingerprint(),
+            ChannelIndex(out->channel).fingerprint());
+}
+
+TEST(FaultInjection, DuplicateFaultsCannotInflateTheCounters) {
+  const auto ch = SegmentedChannel::identical(2, 8, {4});
+  const std::vector<Fault> once = {{Fault::Kind::kSwitchStuckClosed, 0, 4}};
+  const std::vector<Fault> thrice = {{Fault::Kind::kSwitchStuckClosed, 0, 4},
+                                     {Fault::Kind::kSwitchStuckClosed, 0, 4},
+                                     {Fault::Kind::kSwitchStuckClosed, 0, 4}};
+  EXPECT_EQ(canonicalize(ch, thrice).size(), 1u);
+  const auto a = harness::apply(ch, once);
+  const auto b = harness::apply(ch, thrice);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->switches_fused, 1);
+  EXPECT_EQ(b->switches_fused, 1);  // dedup: one physical defect
+  EXPECT_EQ(a->channel.track(0).num_segments(),
+            b->channel.track(0).num_segments());
+
+  // Two dead-segment faults in the SAME segment are one defect; a
+  // stuck-closed fault on a withdrawn track is not a distinct defect.
+  const std::vector<Fault> overlapping = {
+      {Fault::Kind::kSegmentDead, 0, 2},
+      {Fault::Kind::kSegmentDead, 0, 3},  // same segment as column 2
+      {Fault::Kind::kSwitchStuckClosed, 0, 4}};
+  EXPECT_EQ(canonicalize(ch, overlapping).size(), 1u);
+  const auto c = harness::apply(ch, overlapping);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->tracks_lost, 1);
+  EXPECT_EQ(c->switches_fused, 0);
 }
 
 // ----------------------------------------------------------- robust_route

@@ -117,7 +117,7 @@ TEST(Registry, EnumerationAndLookup) {
   // The routers the paper's consumers hard-code by name must exist.
   for (const char* required :
        {"dp", "greedy1", "match1", "greedy2track", "left_edge", "lp", "anneal",
-        "branch_bound", "exhaustive", "online", "express"}) {
+        "branch_bound", "exhaustive", "online", "express", "partial"}) {
     EXPECT_NE(find_router(required), nullptr) << required;
   }
   EXPECT_EQ(find_router("no-such-router"), nullptr);
@@ -132,6 +132,9 @@ TEST(Registry, UnknownNameIsInvalidInputNotAThrow) {
   EXPECT_FALSE(r.success);
   EXPECT_EQ(r.failure, FailureKind::kInvalidInput);
   EXPECT_NE(r.note.find("no-such-router"), std::string::npos);
+  // The note names the known routers, so a typo is self-diagnosing.
+  EXPECT_NE(r.note.find("known:"), std::string::npos);
+  EXPECT_NE(r.note.find("dp"), std::string::npos);
 }
 
 TEST(Registry, UniformPreChecksRejectMalformedRequests) {
