@@ -15,12 +15,21 @@
 // segmentation are interchangeable, so frontier entries within one type
 // class are kept sorted; this collapses states that differ only by a
 // permutation of same-type tracks and yields the O((prod_i T_i)^K) bound.
+//
+// Storage is bit-parallel: each frontier is packed into a fixed number
+// of 64-bit occupancy words (alg/frontier_bits.h; each entry takes
+// bit_width(width+1) bits), so state equality is a compare of 1-2 words,
+// hashing is a word-at-a-time mix, and dedup probes are staged in small
+// batches to overlap their cache misses. Packing is injective, so the
+// explored state space — node counts, routings, weights — is bit-
+// identical to the scalar layout. DESIGN.md §13 documents the layout.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "alg/frontier_bits.h"
 #include "alg/result.h"
 #include "core/channel.h"
 #include "core/connection.h"
@@ -41,17 +50,36 @@ namespace segroute::alg {
 /// shared by concurrent (or nested) dp_route calls. The engine's
 /// per-thread scratch (engine/scratch.h) owns one per thread.
 struct DpWorkspace {
-  std::vector<Column> arena;
+  /// Packed-state layout for the current call: each frontier is
+  /// bit-packed into `codec.words()` 64-bit occupancy words (see
+  /// alg/frontier_bits.h and DESIGN.md §13).
+  bits::FrontierCodec codec;
+  std::vector<std::uint64_t> arena;  // packed frontier words, word-aligned
   std::vector<std::int64_t> parent;
   std::vector<std::int32_t> edge_class;
   std::vector<double> node_w;
-  std::vector<std::int64_t> level;
-  std::vector<std::int64_t> next_level;
-  std::vector<std::int64_t> slots;
+  /// Open-addressing dedup table; each slot stores the packed key inline
+  /// (stride words()+1: key words, then an epoch-tagged node id), so a
+  /// probe never dereferences the arena. Levels themselves need no
+  /// storage: ids are assigned consecutively, so each level is a
+  /// contiguous id range.
+  std::vector<std::uint64_t> slots;
   std::vector<char> cls_ok;
   std::vector<Column> cls_free;
   std::vector<double> cls_w;
-  std::vector<Column> scratch;
+  /// Per-class next-free-column table, built once per call when no
+  /// ChannelIndex is supplied: row cl, column c holds the first free
+  /// column after routing through c on a class-cl track. Replaces the
+  /// per-level (and replay) segment_at binary searches.
+  std::vector<Column> cls_next_free;
+  /// Pooled per-call field scratch: the node-in-hand unpacked frontier
+  /// (`cur`), its left-clamped copy, and the per-class packed-position
+  /// table share one allocation (spans are carved out in dp.cpp).
+  std::vector<std::int32_t> fields;
+  /// Pooled per-call word scratch: the clamped packed words and the
+  /// ProbeBatch staging area share one allocation.
+  std::vector<std::uint64_t> words;
+  bits::ProbeBatch batch;  // staged dedup probes (storage lives in words)
   std::vector<ConnId> order;
   std::vector<TrackId> class_members;  // member tracks, flattened by class
   std::vector<int> class_begin;        // per-class offsets into class_members
@@ -62,13 +90,16 @@ struct DpWorkspace {
 
 /// Heap bytes retained by a workspace (vector capacities, not sizes):
 /// the arena high-water mark a long-lived workspace holds between calls.
+/// The frontier arena is counted in packed-word bytes — the bytes
+/// actually held — so Scratch::bytes_held() stays exact.
 inline std::size_t workspace_bytes(const DpWorkspace& ws) {
   const auto cap = [](const auto& v) {
     return v.capacity() * sizeof(v[0]);
   };
-  return cap(ws.arena) + cap(ws.parent) + cap(ws.edge_class) +
-         cap(ws.node_w) + cap(ws.level) + cap(ws.next_level) + cap(ws.slots) +
-         cap(ws.cls_ok) + cap(ws.cls_free) + cap(ws.cls_w) + cap(ws.scratch) +
+  return ws.codec.bytes_held() + cap(ws.arena) + cap(ws.parent) +
+         cap(ws.edge_class) + cap(ws.node_w) + cap(ws.slots) +
+         cap(ws.cls_ok) + cap(ws.cls_free) + cap(ws.cls_w) +
+         cap(ws.cls_next_free) + cap(ws.fields) + cap(ws.words) +
          cap(ws.order) + cap(ws.class_members) + cap(ws.class_begin) +
          cap(ws.class_cursor) + cap(ws.class_choice) + cap(ws.next_free);
 }

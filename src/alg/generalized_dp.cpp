@@ -1,10 +1,11 @@
 #include "alg/generalized_dp.h"
 
 #include <algorithm>
-#include <cstring>
+#include <bit>
 #include <set>
 #include <type_traits>
 
+#include "alg/frontier_bits.h"
 #include "obs/instrument.h"
 
 namespace segroute::alg {
@@ -29,26 +30,14 @@ struct Entry {
   friend bool operator==(const Entry&, const Entry&) = default;
 };
 
-// Entry is four int32s with no padding, so state equality over the arena
-// is a memcmp and hashing can walk the raw words.
+// Entry is four int32s with no padding; states are stored bit-packed
+// (alg/frontier_bits.h): next_free takes bit_width(width+1) bits and each
+// ConnId field bit_width(M) bits (stored +1 so kNoConn packs as 0). When
+// no restricted variant is active, prev/cur are kNoConn in every state,
+// so they are omitted from the packing — still injective, so word-compare
+// dedup stays exact.
 static_assert(std::has_unique_object_representations_v<Entry>);
 static_assert(sizeof(Entry) == 4 * sizeof(std::int32_t));
-
-/// FNV-1a over a state slice of `n` entries (field-wise, no aliasing).
-std::uint64_t hash_state(const Entry* e, std::size_t n) {
-  std::uint64_t h = 1469598103934665603ull;
-  const auto mix = [&h](std::uint32_t x) {
-    h ^= static_cast<std::uint64_t>(x);
-    h *= 1099511628211ull;
-  };
-  for (std::size_t i = 0; i < n; ++i) {
-    mix(static_cast<std::uint32_t>(e[i].next_free));
-    mix(static_cast<std::uint32_t>(e[i].occupant));
-    mix(static_cast<std::uint32_t>(e[i].prev));
-    mix(static_cast<std::uint32_t>(e[i].cur));
-  }
-  return h;
-}
 
 /// A unit-column piece of a parent connection (Proposition 11's C').
 struct Unit {
@@ -91,16 +80,56 @@ GeneralizedRouteResult generalized_dp_route(const SegmentedChannel& ch,
                    [](const Unit& a, const Unit& b) { return a.col < b.col; });
   const std::size_t U = units.size();
 
-  // Node storage: states in a flat arena (node i's state is
-  // arena[i*T .. (i+1)*T)), scalars in parallel vectors — no per-node
-  // heap allocation, equality by memcmp.
-  std::vector<Entry> arena;
-  arena.reserve(Ts * 1024);
+  // Node storage: states bit-packed in a flat word arena (node i's state
+  // is arena[i*W .. (i+1)*W)), scalars in parallel vectors — no per-node
+  // heap allocation, equality by word compare.
+  const std::uint8_t col_bits = static_cast<std::uint8_t>(
+      std::bit_width(static_cast<std::uint32_t>(ch.width() + 1) | 1u));
+  const std::uint8_t conn_bits = static_cast<std::uint8_t>(
+      std::bit_width(static_cast<std::uint32_t>(cs.size()) | 1u));
+  const std::uint8_t pattern[4] = {col_bits, conn_bits, conn_bits, conn_bits};
+  const std::size_t fields_per_track = track_prev ? 4 : 2;
+  bits::FrontierCodec codec;
+  codec.init(pattern, fields_per_track, Ts);
+  const std::size_t W = codec.words();
+  std::vector<std::int32_t> vals(fields_per_track * Ts);
+  const auto pack_entries = [&](const Entry* e, std::uint64_t* out) {
+    std::int32_t* vp = vals.data();
+    for (std::size_t t2 = 0; t2 < Ts; ++t2) {
+      *vp++ = e[t2].next_free;
+      *vp++ = e[t2].occupant + 1;
+      if (track_prev) {
+        *vp++ = e[t2].prev + 1;
+        *vp++ = e[t2].cur + 1;
+      }
+    }
+    codec.pack(vals.data(), out);
+  };
+  const auto unpack_entries = [&](const std::uint64_t* in, Entry* e) {
+    codec.unpack(in, vals.data());
+    const std::int32_t* vp = vals.data();
+    for (std::size_t t2 = 0; t2 < Ts; ++t2) {
+      e[t2].next_free = *vp++;
+      e[t2].occupant = *vp++ - 1;
+      if (track_prev) {
+        e[t2].prev = *vp++ - 1;
+        e[t2].cur = *vp++ - 1;
+      } else {
+        e[t2].prev = kNoConn;
+        e[t2].cur = kNoConn;
+      }
+    }
+  };
+
+  std::vector<std::uint64_t> arena;
+  arena.reserve(W * 1024);
   std::vector<std::int64_t> parent;
   std::vector<TrackId> edge_track;
 
   const Column L0 = U > 0 ? units[0].col : ch.width() + 1;
-  arena.insert(arena.end(), Ts, Entry{L0, kNoConn, kNoConn, kNoConn});
+  std::vector<Entry> state(Ts, Entry{L0, kNoConn, kNoConn, kNoConn});
+  arena.resize(W);
+  pack_entries(state.data(), arena.data());
   parent.push_back(-1);
   edge_track.push_back(kNoTrack);
 
@@ -123,12 +152,12 @@ GeneralizedRouteResult generalized_dp_route(const SegmentedChannel& ch,
     SEGROUTE_COUNT("gdp.nodes_created", res.stats.total_nodes);
     SEGROUTE_COUNT("gdp.dedup_hits", dedup_hits);
     SEGROUTE_GAUGE_MAX("gdp.frontier_high_water", res.stats.max_level_nodes);
+    // Packed-word bytes actually held by the state arena.
     SEGROUTE_GAUGE_MAX("gdp.arena_high_water_bytes",
-                       arena.capacity() * sizeof(Entry));
-    for (std::size_t n : res.stats.nodes_per_level) {
-      SEGROUTE_HIST("gdp.level_nodes", n,
-                    {1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 16384});
-    }
+                       arena.capacity() * sizeof(arena[0]));
+    SEGROUTE_HIST_RANGE("gdp.level_nodes", res.stats.nodes_per_level.data(),
+                        res.stats.nodes_per_level.size(),
+                        {1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 16384});
     SEGROUTE_SPAN_TAG(gdp_span, "outcome",
                       res.failure == FailureKind::kNone
                           ? "success"
@@ -144,17 +173,68 @@ GeneralizedRouteResult generalized_dp_route(const SegmentedChannel& ch,
   std::vector<Entry> scratch(Ts);
   std::vector<std::int64_t> slots;
   std::vector<std::int64_t> next_level;
+  std::size_t mask = 0;
   const auto rehash = [&](std::size_t cap) {
     slots.assign(cap, -1);
-    const std::size_t mask = cap - 1;
+    const std::size_t m = cap - 1;
     for (std::int64_t id : next_level) {
       std::size_t pos =
-          static_cast<std::size_t>(hash_state(
-              arena.data() + static_cast<std::size_t>(id) * Ts, Ts)) &
-          mask;
-      while (slots[pos] >= 0) pos = (pos + 1) & mask;
+          static_cast<std::size_t>(bits::hash_words(
+              arena.data() + static_cast<std::size_t>(id) * W, W)) &
+          m;
+      while (slots[pos] >= 0) pos = (pos + 1) & m;
       slots[pos] = id;
     }
+  };
+
+  // Staged dedup probes (see alg/frontier_bits.h): resolved strictly in
+  // arrival order at each flush, so node ids and dedup outcomes are
+  // identical to immediate probing. Returns false iff the node limit was
+  // hit (failure recorded; stats not yet pushed).
+  bits::ProbeBatch batch;
+  std::vector<std::uint64_t> batch_store(bits::ProbeBatch::kCapacity * W);
+  batch.reset(W, batch_store.data());
+  const auto flush_batch = [&]() -> bool {
+    if (batch.count > 1) {
+      for (std::size_t i = 0; i < batch.count; ++i) {
+        bits::prefetch_ro(
+            &slots[static_cast<std::size_t>(batch.hash[i]) & mask]);
+      }
+    }
+    for (std::size_t i = 0; i < batch.count; ++i) {
+      const std::uint64_t* key = batch.words + i * W;
+      std::size_t pos = static_cast<std::size_t>(batch.hash[i]) & mask;
+      for (;;) {
+        const std::int64_t s = slots[pos];
+        if (s < 0) {
+          if (parent.size() >= opts.max_total_nodes) {
+            res.fail(FailureKind::kBudgetExhausted,
+                     "assignment graph exceeded node limit");
+            batch.count = 0;
+            return false;
+          }
+          const std::int64_t id = static_cast<std::int64_t>(parent.size());
+          arena.insert(arena.end(), key, key + W);
+          parent.push_back(batch.origin[i]);
+          edge_track.push_back(batch.aux[i]);
+          slots[pos] = id;
+          next_level.push_back(id);
+          if ((next_level.size() + 1) * 2 > slots.size()) {
+            rehash(slots.size() * 2);
+            mask = slots.size() - 1;
+          }
+          break;
+        }
+        if (bits::words_equal(
+                arena.data() + static_cast<std::size_t>(s) * W, key, W)) {
+          ++dedup_hits;
+          break;
+        }
+        pos = (pos + 1) & mask;
+      }
+    }
+    batch.count = 0;
+    return true;
   };
 
   for (std::size_t step = 0; step < U; ++step) {
@@ -188,19 +268,27 @@ GeneralizedRouteResult generalized_dp_route(const SegmentedChannel& ch,
     std::size_t cap = 64;
     while (cap < level.size() * 4) cap <<= 1;
     slots.assign(cap, -1);
-    std::size_t mask = cap - 1;
+    mask = cap - 1;
+    // Batch probes only once the slot array outgrows L1 (see dp.cpp).
+    const std::size_t flush_at =
+        cap >= 4096 ? bits::ProbeBatch::kCapacity : 1;
 
     for (std::int64_t ni : level) {
+      // Unpack this node's state once; the packed arena may then
+      // reallocate freely while successors are inserted.
+      unpack_entries(arena.data() + static_cast<std::size_t>(ni) * W,
+                     state.data());
+      const Entry* ps = state.data();
       for (TrackId t = 0; t < T; ++t) {
         if (!meter.tick()) {
-          res.fail(FailureKind::kBudgetExhausted,
-                   "budget exhausted: " + meter.reason());
+          if (flush_batch()) {
+            res.fail(FailureKind::kBudgetExhausted,
+                     "budget exhausted: " + meter.reason());
+          }
           res.stats.nodes_per_level.push_back(next_level.size());
           finalize_stats();
           return res;
         }
-        // Re-fetch per iteration: the arena may reallocate on insertion.
-        const Entry* ps = arena.data() + static_cast<std::size_t>(ni) * Ts;
         const Entry e = ps[static_cast<std::size_t>(t)];
         const bool seg_free = e.next_free == u.col;
         const bool share_ok = !seg_free && e.occupant == u.parent;
@@ -251,38 +339,20 @@ GeneralizedRouteResult generalized_dp_route(const SegmentedChannel& ch,
           scratch[static_cast<std::size_t>(t2)] = e2;
         }
 
-        std::size_t pos =
-            static_cast<std::size_t>(hash_state(scratch.data(), Ts)) & mask;
-        for (;;) {
-          const std::int64_t s = slots[pos];
-          if (s < 0) {
-            if (parent.size() >= opts.max_total_nodes) {
-              res.fail(FailureKind::kBudgetExhausted,
-                       "assignment graph exceeded node limit");
-              res.stats.nodes_per_level.push_back(next_level.size());
-              finalize_stats();
-              return res;
-            }
-            const std::int64_t id = static_cast<std::int64_t>(parent.size());
-            arena.insert(arena.end(), scratch.begin(), scratch.end());
-            parent.push_back(ni);
-            edge_track.push_back(t);
-            slots[pos] = id;
-            next_level.push_back(id);
-            if ((next_level.size() + 1) * 2 > slots.size()) {
-              rehash(slots.size() * 2);
-              mask = slots.size() - 1;
-            }
-            break;
-          }
-          if (std::memcmp(arena.data() + static_cast<std::size_t>(s) * Ts,
-                          scratch.data(), Ts * sizeof(Entry)) == 0) {
-            ++dedup_hits;
-            break;
-          }
-          pos = (pos + 1) & mask;
+        std::uint64_t* dst = batch.slot_words();
+        pack_entries(scratch.data(), dst);
+        batch.push(bits::hash_words(dst, W), ni, t, 0.0);
+        if (batch.count >= flush_at && !flush_batch()) {
+          res.stats.nodes_per_level.push_back(next_level.size());
+          finalize_stats();
+          return res;
         }
       }
+    }
+    if (!flush_batch()) {
+      res.stats.nodes_per_level.push_back(next_level.size());
+      finalize_stats();
+      return res;
     }
     if (next_level.empty()) {
       res.fail(FailureKind::kInfeasible,

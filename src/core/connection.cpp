@@ -55,6 +55,23 @@ std::vector<ConnId> ConnectionSet::sorted_by_left() const {
 void ConnectionSet::sorted_by_left(std::vector<ConnId>& out) const {
   out.resize(conns_.size());
   for (ConnId i = 0; i < size(); ++i) out[static_cast<std::size_t>(i)] = i;
+  if (out.size() < 32) {
+    // Insertion sort: stable, so the order is identical to stable_sort's,
+    // and allocation-free — std::stable_sort buys a temporary buffer even
+    // at sizes where the routers call this once per route.
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      const ConnId v = out[i];
+      const Column lv = conns_[static_cast<std::size_t>(v)].left;
+      std::size_t j = i;
+      for (; j > 0 &&
+             conns_[static_cast<std::size_t>(out[j - 1])].left > lv;
+           --j) {
+        out[j] = out[j - 1];
+      }
+      out[j] = v;
+    }
+    return;
+  }
   std::stable_sort(out.begin(), out.end(), [this](ConnId a, ConnId b) {
     return conns_[a].left < conns_[b].left;
   });

@@ -36,21 +36,6 @@ bool BudgetMeter::check_clock() {
   return true;
 }
 
-bool BudgetMeter::tick(std::uint64_t n) {
-  if (stop_ != BudgetStop::kNone) return false;
-  ticks_ += n;
-  if (budget_.max_ticks != 0 && ticks_ > budget_.max_ticks) {
-    stop_ = BudgetStop::kTickLimit;
-    return false;
-  }
-  if (until_check_ > n) {
-    until_check_ -= static_cast<std::uint32_t>(n);
-    return true;
-  }
-  until_check_ = check_interval_;
-  return check_clock();
-}
-
 bool BudgetMeter::ok() {
   if (stop_ != BudgetStop::kNone) return false;
   return check_clock();

@@ -81,8 +81,23 @@ class BudgetMeter {
   explicit BudgetMeter(const Budget& budget, std::uint32_t check_interval = 64);
 
   /// Counts `n` units of work; returns true while the budget holds.
-  /// Sticky: once false, always false.
-  bool tick(std::uint64_t n = 1);
+  /// Sticky: once false, always false. Inline: the common path (no bound
+  /// crossed, no clock check due) is a handful of integer ops, cheap
+  /// enough to sit inside the DP's per-expansion loop.
+  bool tick(std::uint64_t n = 1) {
+    if (stop_ != BudgetStop::kNone) return false;
+    ticks_ += n;
+    if (budget_.max_ticks != 0 && ticks_ > budget_.max_ticks) {
+      stop_ = BudgetStop::kTickLimit;
+      return false;
+    }
+    if (until_check_ > n) {
+      until_check_ -= static_cast<std::uint32_t>(n);
+      return true;
+    }
+    until_check_ = check_interval_;
+    return check_clock();
+  }
 
   /// Re-checks deadline and cancellation without consuming ticks.
   bool ok();

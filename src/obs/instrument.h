@@ -74,6 +74,17 @@
     seg_obs_h_.observe(static_cast<double>(v));                            \
   } while (0)
 
+/// Observes every element of [ptr, ptr + n) in the named histogram —
+/// snapshot-identical to n SEGROUTE_HIST calls, one atomic per touched
+/// bucket (Histogram::observe_range).
+#define SEGROUTE_HIST_RANGE(name, ptr, n, ...)                             \
+  do {                                                                     \
+    static ::segroute::obs::Histogram& seg_obs_h_ =                        \
+        ::segroute::obs::Registry::instance().histogram(                   \
+            name, std::vector<double> __VA_ARGS__);                        \
+    seg_obs_h_.observe_range((ptr), (n));                                  \
+  } while (0)
+
 #else  // SEGROUTE_OBS_ENABLED == 0
 
 namespace segroute::obs {
@@ -127,6 +138,11 @@ constexpr void noop_sink(A&&...) {}
 #define SEGROUTE_HIST(name, v, ...)                                        \
   do {                                                                     \
     if constexpr (false) ::segroute::obs::noop_sink((name), (v));          \
+  } while (0)
+
+#define SEGROUTE_HIST_RANGE(name, ptr, n, ...)                             \
+  do {                                                                     \
+    if constexpr (false) ::segroute::obs::noop_sink((name), (ptr), (n));   \
   } while (0)
 
 #endif  // SEGROUTE_OBS_ENABLED

@@ -29,6 +29,30 @@ void Histogram::observe(double v) {
   detail::atomic_add(s.sum, v);
 }
 
+void Histogram::observe_range(const std::size_t* vs, std::size_t n) {
+  if (n == 0) return;
+  constexpr std::size_t kMaxLocal = 33;  // bounds lists here are short
+  const std::size_t nb = bounds_.size() + 1;
+  if (nb > kMaxLocal) {
+    for (std::size_t i = 0; i < n; ++i) observe(static_cast<double>(vs[i]));
+    return;
+  }
+  std::uint64_t local[kMaxLocal] = {};
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(vs[i]);
+    std::size_t b = 0;
+    while (b < bounds_.size() && v > bounds_[b]) ++b;
+    ++local[b];
+    sum += v;
+  }
+  Shard& s = shards_[detail::shard_id()];
+  for (std::size_t b = 0; b < nb; ++b) {
+    if (local[b] != 0) s.counts[b].fetch_add(local[b], std::memory_order_relaxed);
+  }
+  detail::atomic_add(s.sum, sum);
+}
+
 Histogram::Snapshot Histogram::snapshot() const {
   Snapshot out;
   out.bounds = bounds_;

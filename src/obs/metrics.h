@@ -122,6 +122,13 @@ class Histogram {
 
   void observe(double v);
 
+  /// Observes every value in [vs, vs + n). Snapshot-identical to n
+  /// observe() calls, but buckets are aggregated locally first so each
+  /// touched bucket costs one atomic update instead of one per value —
+  /// the cheap way to flush a per-call series (e.g. DP level sizes) at
+  /// finalization time.
+  void observe_range(const std::size_t* vs, std::size_t n);
+
   struct Snapshot {
     std::vector<double> bounds;          // upper bounds, ascending
     std::vector<std::uint64_t> counts;   // bounds.size() + 1 entries
