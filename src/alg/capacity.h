@@ -38,9 +38,14 @@ struct CapacityOptions {
   int max_segments = 0;
   /// Upper bound on tracks tried before giving up.
   int track_limit = 128;
-  /// Worker threads for probe/trial evaluation: 1 = serial (the
-  /// historical behavior), 0 = hardware concurrency, N > 1 = fixed.
-  /// Results are bit-identical across all values (see file comment).
+  /// Worker threads for probe/trial evaluation. The library-wide
+  /// convention (shared with engine::BatchOptions::threads and
+  /// fpga::FabricOptions::threads): 1 = serial (the historical
+  /// behavior), N > 1 = fixed, and <= 0 = "auto" — resolved to
+  /// util::hardware_threads(), the clamped hardware concurrency.
+  /// Results are bit-identical across all values (see file comment):
+  /// the static deterministic partitioning is unchanged by how the
+  /// count was chosen.
   int threads = 1;
   /// Which registered router (alg::registry() name) answers "does it
   /// route?" probes. The default exact DP gives true capacities; a

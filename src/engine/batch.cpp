@@ -67,6 +67,23 @@ BatchRouter::BatchRouter(const SegmentedChannel& ch, BatchOptions opts)
   for (int k = 0; k < 5; ++k) {
     weight_fns_[k] = make_weight(static_cast<WeightKind>(k));
   }
+  // Resolve the shard layout once: clamp to [1, 64], and never keep more
+  // shards than capacity (a shard with capacity 0 could cache nothing and
+  // would silently drop every entry routed to it). The configured
+  // capacity is distributed across the shards so the global resident
+  // bound is exactly cache_capacity.
+  std::size_t nshards = static_cast<std::size_t>(
+      std::clamp(opts_.cache_shards, 1, 64));
+  if (opts_.cache_capacity > 0) {
+    nshards = std::min(nshards, opts_.cache_capacity);
+  }
+  shards_.reserve(nshards);
+  const std::size_t base = opts_.cache_capacity / nshards;
+  const std::size_t rem = opts_.cache_capacity % nshards;
+  for (std::size_t s = 0; s < nshards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->capacity = base + (s < rem ? 1 : 0);
+  }
 }
 
 BatchRouter::CacheKey BatchRouter::make_key(
@@ -76,6 +93,7 @@ BatchRouter::CacheKey BatchRouter::make_key(
   key.fingerprint = index_.fingerprint();
   key.max_segments = opts.max_segments;
   key.weight = opts.weight;
+  key.weight_tag = opts.custom_weight ? opts.weight_tag : 0;
   key.conns.reserve(static_cast<std::size_t>(cs.size()));
   // Permutation-invariant hash (commutative combine over per-connection
   // hashes, mixed with the options and the channel fingerprint) so the
@@ -86,6 +104,7 @@ BatchRouter::CacheKey BatchRouter::make_key(
   h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(opts.max_segments))
        * 1099511628211ull;
   h ^= static_cast<std::uint64_t>(opts.weight) * 1099511628211ull;
+  h ^= key.weight_tag * 0x9e3779b97f4a7c15ull;
   for (const char c : opts.router) {
     h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
     h *= 1099511628211ull;
@@ -109,7 +128,9 @@ alg::RouteResult BatchRouter::route_one(const ConnectionSet& cs,
   rq.context.occupancy = &scratch.occupancy_for(index_);
   rq.dp_workspace = &scratch.dp();
   rq.options.max_segments = opts.max_segments;
-  rq.options.weight = weight_fns_[static_cast<int>(opts.weight)];
+  rq.options.weight = opts.custom_weight
+                          ? opts.custom_weight
+                          : weight_fns_[static_cast<int>(opts.weight)];
   rq.budget = budget;
   alg::RouteResult res = alg::route(opts.router, rq);
   // The scratch arenas grow during the route; record the retained
@@ -123,35 +144,38 @@ alg::RouteResult BatchRouter::route(const ConnectionSet& cs,
   SEGROUTE_SPAN(route_span, "engine.route", "fingerprint",
                 index_.fingerprint());
   const bool pure = opts.budget.unlimited();
-  if (!opts_.use_cache || !pure || opts_.cache_capacity == 0) {
+  const bool taggable = !opts.custom_weight || opts.weight_tag != 0;
+  if (!opts_.use_cache || !pure || !taggable || opts_.cache_capacity == 0) {
     return route_one(cs, opts, opts.budget);
   }
   CacheKey key = make_key(cs, opts);
+  Shard& shard = shard_of(key.hash);
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = by_key_.find(key);
-    if (it != by_key_.end()) {
-      ++hits_;
-      entries_.splice(entries_.begin(), entries_, it->second);  // touch
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.by_key.find(key);
+    if (it != shard.by_key.end()) {
+      ++shard.hits;
+      shard.entries.splice(shard.entries.begin(), shard.entries,
+                           it->second);  // touch
       SEGROUTE_COUNT("engine.cache.hits", 1);
       return it->second->result;
     }
-    ++misses_;
+    ++shard.misses;
   }
   SEGROUTE_COUNT("engine.cache.misses", 1);
   alg::RouteResult res = route_one(cs, opts, opts.budget);
   if (cacheable(res)) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    std::lock_guard<std::mutex> lock(shard.mu);
     // Another thread may have inserted the same key while we routed;
     // both computed identical results, so keeping the existing entry is
     // equivalent.
-    if (by_key_.find(key) == by_key_.end()) {
-      entries_.push_front(CacheEntry{std::move(key), res});
-      by_key_.emplace(entries_.front().key, entries_.begin());
-      while (entries_.size() > opts_.cache_capacity) {
-        by_key_.erase(entries_.back().key);
-        entries_.pop_back();
-        ++evictions_;
+    if (shard.by_key.find(key) == shard.by_key.end()) {
+      shard.entries.push_front(CacheEntry{std::move(key), res});
+      shard.by_key.emplace(shard.entries.front().key, shard.entries.begin());
+      while (shard.entries.size() > shard.capacity) {
+        shard.by_key.erase(shard.entries.back().key);
+        shard.entries.pop_back();
+        ++shard.evictions;
         SEGROUTE_COUNT("engine.cache.evictions", 1);
       }
     }
@@ -159,28 +183,60 @@ alg::RouteResult BatchRouter::route(const ConnectionSet& cs,
   return res;
 }
 
+// Per-instance budget: the caller's, tightened by an even slice of the
+// batch deadline when one is configured. Slices are a function of the
+// batch size only — not of the thread count — so results stay
+// thread-count invariant (up to wall-clock jitter inherent in any
+// deadline).
+EngineRouteOptions BatchRouter::sliced(const EngineRouteOptions& opts,
+                                       std::size_t batch_size) const {
+  EngineRouteOptions inst_opts = opts;
+  if (opts_.deadline && batch_size > 0) {
+    const auto slice = *opts_.deadline / static_cast<int>(batch_size);
+    inst_opts.budget.deadline =
+        inst_opts.budget.deadline ? std::min(*inst_opts.budget.deadline, slice)
+                                  : slice;
+  }
+  return inst_opts;
+}
+
 std::vector<alg::RouteResult> BatchRouter::route_many(
     const std::vector<ConnectionSet>& batch, const EngineRouteOptions& opts) {
   std::vector<alg::RouteResult> results(batch.size());
   if (batch.empty()) return results;
 
-  // Per-instance budget: the caller's, tightened by an even slice of the
-  // batch deadline when one is configured. Slices are a function of the
-  // batch size only — not of the thread count — so results stay
-  // thread-count invariant (up to wall-clock jitter inherent in any
-  // deadline).
-  EngineRouteOptions inst_opts = opts;
-  if (opts_.deadline) {
-    const auto slice = *opts_.deadline / static_cast<int>(batch.size());
-    inst_opts.budget.deadline =
-        inst_opts.budget.deadline ? std::min(*inst_opts.budget.deadline, slice)
-                                  : slice;
-  }
-
+  const EngineRouteOptions inst_opts = sliced(opts, batch.size());
   pool_.parallel_for(static_cast<std::int64_t>(batch.size()),
                      [&](std::int64_t i) {
                        results[static_cast<std::size_t>(i)] =
                            route(batch[static_cast<std::size_t>(i)], inst_opts);
+                     });
+  return results;
+}
+
+std::vector<alg::RouteResult> BatchRouter::route_many(
+    const std::vector<ConnectionSet>& batch,
+    const std::vector<EngineRouteOptions>& opts) {
+  std::vector<alg::RouteResult> results(batch.size());
+  if (batch.empty()) return results;
+  if (opts.size() != batch.size()) {
+    for (auto& r : results) {
+      r.fail(alg::FailureKind::kInvalidInput,
+             "route_many: per-instance options size != batch size");
+    }
+    return results;
+  }
+
+  std::vector<EngineRouteOptions> inst_opts;
+  inst_opts.reserve(opts.size());
+  for (const EngineRouteOptions& o : opts) {
+    inst_opts.push_back(sliced(o, batch.size()));
+  }
+  pool_.parallel_for(static_cast<std::int64_t>(batch.size()),
+                     [&](std::int64_t i) {
+                       results[static_cast<std::size_t>(i)] = route(
+                           batch[static_cast<std::size_t>(i)],
+                           inst_opts[static_cast<std::size_t>(i)]);
                      });
   return results;
 }
@@ -192,35 +248,41 @@ void BatchRouter::rebind(const SegmentedChannel& ch) {
 }
 
 void BatchRouter::invalidate(std::uint64_t fingerprint) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->key.fingerprint == fingerprint) {
-      by_key_.erase(it->key);
-      it = entries_.erase(it);
-      ++invalidations_;
-      SEGROUTE_COUNT("engine.cache.invalidated", 1);
-    } else {
-      ++it;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->entries.begin(); it != shard->entries.end();) {
+      if (it->key.fingerprint == fingerprint) {
+        shard->by_key.erase(it->key);
+        it = shard->entries.erase(it);
+        ++shard->invalidations;
+        SEGROUTE_COUNT("engine.cache.invalidated", 1);
+      } else {
+        ++it;
+      }
     }
   }
 }
 
 CacheStats BatchRouter::cache_stats() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
   CacheStats s;
-  s.hits = hits_;
-  s.misses = misses_;
-  s.evictions = evictions_;
-  s.invalidations = invalidations_;
-  s.size = entries_.size();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.hits += shard->hits;
+    s.misses += shard->misses;
+    s.evictions += shard->evictions;
+    s.invalidations += shard->invalidations;
+    s.size += shard->entries.size();
+  }
   s.capacity = opts_.use_cache ? opts_.cache_capacity : 0;
   return s;
 }
 
 void BatchRouter::clear_cache() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  entries_.clear();
-  by_key_.clear();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.clear();
+    shard->by_key.clear();
+  }
 }
 
 }  // namespace segroute::engine

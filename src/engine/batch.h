@@ -15,9 +15,24 @@
 //      every router call (O(1) segment lookups, prebuilt type classes);
 //   2. per-thread scratch arenas (engine/scratch.h), so steady-state
 //      calls are allocation-free;
-//   3. a bounded LRU memo cache keyed by (channel fingerprint, router
-//      name, connection sequence, routing options), with
-//      hit/miss/eviction counters.
+//   3. a bounded, *sharded* LRU memo cache keyed by (channel
+//      fingerprint, router name, connection sequence, routing options),
+//      with hit/miss/eviction counters merged across shards.
+//
+// Cache sharding. One mutex in front of the memo cache serializes every
+// worker of a parallel sweep — the fabric router (fpga/fabric.h) routes
+// all channels of a device through one BatchRouter, and past ~2 threads
+// the single lock, not the routing, becomes the bottleneck. The cache is
+// therefore split into `BatchOptions::cache_shards` independent LRU
+// shards selected by the key hash; each shard has its own mutex, list
+// and map. The capacity bound stays global-equivalent — the configured
+// capacity is distributed over the shards, so the total resident entries
+// never exceed it — but the LRU *order* is per shard: with more than one
+// shard, eviction approximates global LRU (an entry is evicted by
+// pressure within its own shard). `cache_shards = 1` restores the exact
+// single-lock global-LRU behavior. Hit/miss determinism is unaffected:
+// for a replayed workload that fits in capacity, sharded and unsharded
+// caches produce identical stats, and results are bit-identical always.
 //
 // Routing dispatches through alg::registry() — EngineRouteOptions names
 // the router ("dp" by default), so the same engine front end serves any
@@ -51,6 +66,7 @@
 #include <chrono>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -98,6 +114,18 @@ struct EngineRouteOptions {
   /// Optimization objective (Problem 3) or kNone for feasibility.
   WeightKind weight = WeightKind::kNone;
 
+  /// Custom weight hook: when set, overrides `weight`. This is how a
+  /// caller folds per-instance pricing — e.g. the fabric router's
+  /// Lagrangian congestion multipliers (fpga/fabric.h) — into the
+  /// registry's weight contract while keeping the memo cache usable:
+  /// `weight_tag` must uniquely fingerprint the function's *behavior*
+  /// (e.g. a hash of the quantized price table), because the cache keys
+  /// on the tag, not the closure. Tag 0 is reserved for "untagged": a
+  /// custom weight with tag 0 bypasses the cache in both directions
+  /// rather than risk cross-serving two functions under one key.
+  std::optional<WeightFn> custom_weight;
+  std::uint64_t weight_tag = 0;
+
   /// Per-instance resource bounds. A non-unlimited budget makes the call
   /// bypass the memo cache (budget-limited outcomes are not pure
   /// functions of the instance).
@@ -115,7 +143,12 @@ struct CacheStats {
 };
 
 struct BatchOptions {
-  /// Worker threads for route_many (<= 0: hardware concurrency).
+  /// Worker threads for route_many. The library-wide convention
+  /// (shared with alg::CapacityOptions::threads and
+  /// fpga::FabricOptions::threads): 1 = serial, N > 1 = fixed, and
+  /// <= 0 = "auto" — util::hardware_threads(), the clamped hardware
+  /// concurrency. Partitioning stays static and deterministic for every
+  /// resolved value, so results never depend on the choice.
   int threads = 1;
 
   /// Enable the memo cache.
@@ -123,6 +156,13 @@ struct BatchOptions {
 
   /// Maximum cached results; least-recently-used entries are evicted.
   std::size_t cache_capacity = 256;
+
+  /// Number of independent cache shards (clamped to [1, 64] and to
+  /// cache_capacity). 1 = one global LRU behind one mutex (the exact
+  /// legacy behavior); the default 16 keeps parallel warm-hit streams
+  /// from serializing on a single lock. See the file comment for the
+  /// eviction-order caveat.
+  int cache_shards = 16;
 
   /// Optional total wall-clock allowance for each route_many() call,
   /// divided evenly into per-instance deadline slices (instance budgets
@@ -153,6 +193,14 @@ class BatchRouter {
       const std::vector<ConnectionSet>& batch,
       const EngineRouteOptions& opts = {});
 
+  /// As above but with per-instance options (opts[i] routes batch[i]) —
+  /// the shape a fabric sweep needs, where every channel carries its own
+  /// congestion-priced weight. opts.size() must equal batch.size();
+  /// a mismatch returns kInvalidInput results without routing anything.
+  std::vector<alg::RouteResult> route_many(
+      const std::vector<ConnectionSet>& batch,
+      const std::vector<EngineRouteOptions>& opts);
+
   /// Re-points the engine at `ch` (which must outlive it), rebuilding the
   /// shared index. The memo cache is kept: entries are fingerprint-keyed,
   /// so stale service is impossible and returning to a previously seen
@@ -173,13 +221,15 @@ class BatchRouter {
     std::uint64_t fingerprint = 0;  // substrate the result was computed on
     int max_segments = 0;
     WeightKind weight = WeightKind::kNone;
+    std::uint64_t weight_tag = 0;  // custom-weight fingerprint (0 = none)
     std::vector<std::pair<Column, Column>> conns;  // exact sequence
     std::uint64_t hash = 0;  // permutation-invariant, precomputed
 
     friend bool operator==(const CacheKey& a, const CacheKey& b) {
       return a.fingerprint == b.fingerprint &&
              a.max_segments == b.max_segments && a.weight == b.weight &&
-             a.router == b.router && a.conns == b.conns;
+             a.weight_tag == b.weight_tag && a.router == b.router &&
+             a.conns == b.conns;
     }
   };
   struct CacheKeyHash {
@@ -192,27 +242,42 @@ class BatchRouter {
     alg::RouteResult result;
   };
 
+  /// One cache shard: an independent bounded LRU behind its own mutex.
+  /// entries is most-recent-first; by_key points into it. Counters are
+  /// per shard and summed by cache_stats().
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<CacheEntry> entries;
+    std::unordered_map<CacheKey, std::list<CacheEntry>::iterator, CacheKeyHash>
+        by_key;
+    std::size_t capacity = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;
+  };
+
+  [[nodiscard]] Shard& shard_of(std::uint64_t hash) {
+    // Upper hash bits pick the shard; the map inside the shard keeps
+    // using the full hash, so shard selection and bucket choice stay
+    // decorrelated enough for the FNV mix.
+    return *shards_[(hash >> 32) % shards_.size()];
+  }
+
   CacheKey make_key(const ConnectionSet& cs,
                     const EngineRouteOptions& opts) const;
   alg::RouteResult route_one(const ConnectionSet& cs,
                              const EngineRouteOptions& opts,
                              const harness::Budget& budget);
+  EngineRouteOptions sliced(const EngineRouteOptions& opts,
+                            std::size_t batch_size) const;
 
   const SegmentedChannel* ch_;
   ChannelIndex index_;
   BatchOptions opts_;
   std::optional<WeightFn> weight_fns_[5];  // one per WeightKind, lazy-free
   util::ThreadPool pool_;
-
-  // Bounded LRU: entries_ is most-recent-first; by_key_ points into it.
-  mutable std::mutex cache_mu_;
-  std::list<CacheEntry> entries_;
-  std::unordered_map<CacheKey, std::list<CacheEntry>::iterator, CacheKeyHash>
-      by_key_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t invalidations_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace segroute::engine

@@ -5,10 +5,14 @@
 
 namespace segroute::util {
 
-int resolve_threads(int n) {
-  if (n > 0) return n;
+int hardware_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  if (hw == 0) return 1;           // unknown: stay serial, never guess up
+  return hw > 64 ? 64 : static_cast<int>(hw);
+}
+
+int resolve_threads(int n) {
+  return n > 0 ? n : hardware_threads();
 }
 
 ThreadPool::ThreadPool(int threads) : nthreads_(resolve_threads(threads)) {

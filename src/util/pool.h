@@ -24,8 +24,17 @@
 
 namespace segroute::util {
 
-/// Resolves a user-facing thread-count option: n <= 0 means "use the
-/// hardware concurrency" (at least 1), anything else is taken as-is.
+/// The machine's usable hardware concurrency, clamped to [1, 64]. This
+/// is what every "threads = 0 means auto" option in the library
+/// (engine::BatchOptions::threads, alg::CapacityOptions::threads,
+/// fpga::FabricOptions::threads) resolves to. The clamp bounds the
+/// fixed per-pool thread spawn on very wide machines; determinism is
+/// unaffected either way, because every parallel layer partitions
+/// statically and is bit-identical across thread counts.
+int hardware_threads();
+
+/// Resolves a user-facing thread-count option: n <= 0 means "auto"
+/// (hardware_threads()), anything else is taken as-is.
 int resolve_threads(int n);
 
 class ThreadPool {

@@ -1,0 +1,238 @@
+#include "fpga/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <vector>
+
+#include "core/routing.h"
+#include "engine/batch.h"
+#include "fpga/netlist.h"
+#include "fpga/place.h"
+#include "gen/segmentation.h"
+
+namespace segroute::fpga {
+namespace {
+
+// A random but reproducible fabric scenario: device, netlist, placement.
+struct Scenario {
+  DeviceSpec dev;
+  Netlist nl;
+  Placement p;
+};
+
+Scenario make_scenario(std::uint64_t seed, int rows = 3, int slots = 8,
+                       int nets = 14) {
+  std::mt19937_64 rng(seed);
+  DeviceSpec dev;
+  dev.rows = rows;
+  dev.slots_per_row = slots;
+  dev.cell_width = 2;
+  Netlist nl = random_netlist(rows * slots, nets, 4, slots, rng);
+  Placement p = random_placement(nl, rows, slots, rng);
+  return Scenario{dev, std::move(nl), std::move(p)};
+}
+
+std::function<SegmentedChannel(int, Column)> staggered_factory(Column seglen) {
+  return [seglen](int tracks, Column width) {
+    return gen::staggered_segmentation(tracks, width, seglen);
+  };
+}
+
+// Every channel's routing must independently re-validate on the substrate.
+void expect_valid(const FabricRouter& fr, const FabricResult& res, int tracks,
+                  const std::function<SegmentedChannel(int, Column)>& make) {
+  const SegmentedChannel sub = make(tracks, fr.device().columns());
+  for (std::size_t c = 0; c < res.per_channel.size(); ++c) {
+    const auto v = validate(sub, res.per_channel[c], res.routings[c]);
+    EXPECT_TRUE(v.ok) << "channel " << c << ": " << v.error;
+  }
+}
+
+TEST(Fabric, BitIdenticalAcrossThreadCountsAndCacheModes) {
+  for (std::uint64_t seed : {7u, 21u, 99u}) {
+    const Scenario sc = make_scenario(seed);
+    const auto make = staggered_factory(6);
+    const FabricRouter fr(sc.dev, sc.nl, sc.p, make);
+
+    FabricOptions base;
+    base.max_iterations = 8;
+    const int tracks = 6;
+
+    std::optional<FabricResult> reference;
+    for (int threads : {1, 2, 8}) {
+      for (bool cache : {true, false}) {
+        FabricOptions o = base;
+        o.threads = threads;
+        o.use_cache = cache;
+        const FabricResult r = fr.route(tracks, o);
+        if (!reference) {
+          reference = r;
+          continue;
+        }
+        EXPECT_EQ(r.digest, reference->digest)
+            << "seed " << seed << " threads " << threads << " cache " << cache;
+        EXPECT_EQ(r.success, reference->success);
+        EXPECT_EQ(r.iterations, reference->iterations);
+        EXPECT_EQ(r.channel_of_net, reference->channel_of_net);
+        for (std::size_t c = 0; c < r.routings.size(); ++c) {
+          EXPECT_EQ(r.routings[c], reference->routings[c]) << "channel " << c;
+        }
+      }
+    }
+    if (reference->success) expect_valid(fr, *reference, tracks, make);
+  }
+}
+
+TEST(Fabric, ConvergesOnKnownFeasibleFixture) {
+  // Fully segmented tracks make a channel conventional: density <= tracks
+  // is routable, so a generous track count must converge — and validate.
+  const Scenario sc = make_scenario(42, /*rows=*/2, /*slots=*/6, /*nets=*/8);
+  const auto make = [](int tracks, Column width) {
+    return SegmentedChannel::fully_segmented(tracks, width);
+  };
+  const FabricRouter fr(sc.dev, sc.nl, sc.p, make);
+
+  FabricOptions o;
+  o.max_iterations = 8;
+  const FabricResult res = fr.route(/*tracks=*/8, o);
+  ASSERT_TRUE(res.success) << res.note;
+  EXPECT_EQ(res.iterations, 1);  // no contention at 8 tracks: greedy wins
+  expect_valid(fr, res, 8, make);
+  for (const auto& rep : res.channels) {
+    EXPECT_TRUE(rep.routed);
+    EXPECT_EQ(rep.failure, alg::FailureKind::kNone);
+  }
+}
+
+TEST(Fabric, NegotiationMovesNetsWhereGreedyFails) {
+  // Three nets, three channels, one full-width single-segment track each:
+  // every channel holds exactly one net. A[1,3] and B[5,7] sit in row 0
+  // (channels {0,1}); C[1,7] sits in row 1 (channels {1,2}). The greedy
+  // assignment collides (extended spans make A and B conflict everywhere),
+  // so only negotiation — history pricing the failed channel — can spread
+  // the three nets over the three channels.
+  DeviceSpec dev;
+  dev.rows = 2;
+  dev.slots_per_row = 4;
+  dev.cell_width = 2;  // pins at columns 1, 3, 5, 7; width 8
+  const Netlist nl(8, {CellNet{{0, 1}, "A"}, CellNet{{2, 3}, "B"},
+                       CellNet{{4, 7}, "C"}});
+  const Placement p = sequential_placement(nl, dev.rows, dev.slots_per_row);
+  const auto make = [](int tracks, Column width) {
+    return SegmentedChannel::unsegmented(tracks, width);
+  };
+  const FabricRouter fr(dev, nl, p, make);
+
+  FabricOptions o;
+  o.max_iterations = 8;
+  const FabricResult independent = fr.route_independent(1, o);
+  EXPECT_FALSE(independent.success);
+  EXPECT_EQ(independent.iterations, 1);
+
+  const FabricResult res = fr.route(1, o);
+  ASSERT_TRUE(res.success) << res.note;
+  EXPECT_GT(res.iterations, 1);  // greedy alone was not enough
+  expect_valid(fr, res, 1, make);
+  const std::set<int> used(res.channel_of_net.begin(),
+                           res.channel_of_net.end());
+  EXPECT_EQ(used.size(), 3u);  // all three nets in distinct channels
+}
+
+TEST(Fabric, NegotiatedNeverNeedsMoreTracksThanIndependent) {
+  for (std::uint64_t seed : {3u, 11u}) {
+    const Scenario sc = make_scenario(seed);
+    const auto make = staggered_factory(5);
+    const FabricRouter fr(sc.dev, sc.nl, sc.p, make);
+    FabricOptions o;
+    o.max_iterations = 8;
+    FabricOptions ind = o;
+    ind.max_iterations = 1;
+    const auto negotiated = fr.min_fabric_tracks(16, o);
+    const auto independent = fr.min_fabric_tracks(16, ind);
+    ASSERT_TRUE(negotiated.has_value());
+    ASSERT_TRUE(independent.has_value());
+    EXPECT_LE(*negotiated, *independent) << "seed " << seed;
+  }
+}
+
+TEST(Fabric, BudgetExhaustionReportsPerChannelFailure) {
+  const Scenario sc = make_scenario(5, /*rows=*/3, /*slots=*/8, /*nets=*/18);
+  const FabricRouter fr(sc.dev, sc.nl, sc.p, staggered_factory(6));
+
+  FabricOptions o;
+  o.max_iterations = 4;
+  o.budget = harness::Budget::with_ticks(o.max_iterations *
+                                         sc.dev.num_channels());  // 1 tick each
+  const FabricResult res = fr.route(/*tracks=*/6, o);
+  EXPECT_FALSE(res.success);
+  EXPECT_NE(res.note.find("budget"), std::string::npos) << res.note;
+  bool saw_budget = false;
+  for (const auto& rep : res.channels) {
+    if (rep.failure == alg::FailureKind::kBudgetExhausted) saw_budget = true;
+  }
+  EXPECT_TRUE(saw_budget);
+
+  // Tick budgets stay deterministic: same starved run, same digest.
+  const FabricResult res2 = fr.route(/*tracks=*/6, o);
+  EXPECT_EQ(res.digest, res2.digest);
+}
+
+TEST(Fabric, ShardedCacheStatsMatchUnshardedOnReplay) {
+  // The same fabric routed twice warms the memo cache; the merged stats
+  // of a 16-way sharded cache must equal the single-shard totals when the
+  // workload fits in capacity (the global-equivalent bound).
+  const Scenario sc = make_scenario(13);
+  const FabricRouter fr(sc.dev, sc.nl, sc.p, staggered_factory(6));
+
+  auto stats_after_replay = [&](int shards) {
+    FabricOptions o;
+    o.max_iterations = 8;
+    o.threads = 1;  // serial: hit/miss counters are deterministic
+    o.cache_shards = shards;
+    o.cache_capacity = 4096;
+    // route() builds a fresh engine per call, so replay the workload
+    // within one call's negotiation loop and compare its cache snapshot.
+    // Tracks are kept scarce so the loop iterates and re-routes channels
+    // whose assignment did not change — the replayed (cache-hitting) part.
+    return fr.route(/*tracks=*/4, o).cache;
+  };
+  const engine::CacheStats one = stats_after_replay(1);
+  const engine::CacheStats sharded = stats_after_replay(16);
+  EXPECT_GT(one.hits + one.misses, 0u);
+  EXPECT_EQ(one.hits, sharded.hits);
+  EXPECT_EQ(one.misses, sharded.misses);
+  EXPECT_EQ(one.size, sharded.size);
+  EXPECT_EQ(one.evictions, 0u);
+  EXPECT_EQ(sharded.evictions, 0u);
+}
+
+TEST(Fabric, AutoThreadsMatchesExplicit) {
+  // threads = 0 resolves to util::hardware_threads(); the result must be
+  // bit-identical to any explicit count (the library-wide contract).
+  const Scenario sc = make_scenario(31);
+  const FabricRouter fr(sc.dev, sc.nl, sc.p, staggered_factory(6));
+  FabricOptions serial;
+  serial.max_iterations = 6;
+  serial.threads = 1;
+  FabricOptions autod = serial;
+  autod.threads = 0;
+  EXPECT_EQ(fr.route(6, serial).digest, fr.route(6, autod).digest);
+}
+
+TEST(Fabric, RejectsMalformedInputs) {
+  const Scenario sc = make_scenario(1);
+  const FabricRouter fr(sc.dev, sc.nl, sc.p, staggered_factory(6));
+  EXPECT_FALSE(fr.route(0).success);
+
+  Placement wrong = sc.p;
+  wrong.rows = sc.dev.rows + 1;
+  const FabricRouter bad(sc.dev, sc.nl, wrong, staggered_factory(6));
+  const FabricResult res = bad.route(4);
+  EXPECT_FALSE(res.success);
+  EXPECT_NE(res.note.find("placement"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace segroute::fpga
