@@ -39,8 +39,9 @@ struct CapacityOptions {
   /// Upper bound on tracks tried before giving up.
   int track_limit = 128;
   /// Worker threads for probe/trial evaluation. The library-wide
-  /// convention (shared with engine::BatchOptions::threads and
-  /// fpga::FabricOptions::threads): 1 = serial (the historical
+  /// convention (shared with engine::BatchOptions::threads,
+  /// fpga::FabricOptions::threads and svc::SvcOptions::threads):
+  /// 1 = serial (the historical
   /// behavior), N > 1 = fixed, and <= 0 = "auto" — resolved to
   /// util::hardware_threads(), the clamped hardware concurrency.
   /// Results are bit-identical across all values (see file comment):

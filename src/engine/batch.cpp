@@ -145,7 +145,12 @@ alg::RouteResult BatchRouter::route(const ConnectionSet& cs,
                 index_.fingerprint());
   const bool pure = opts.budget.unlimited();
   const bool taggable = !opts.custom_weight || opts.weight_tag != 0;
-  if (!opts_.use_cache || !pure || !taggable || opts_.cache_capacity == 0) {
+  const bool cache_on =
+      opts_.use_cache && taggable && opts_.cache_capacity != 0;
+  // Budgeted calls may opt into cache *reads* (a cached entry is a pure
+  // result, so serving it under a budget is exact); only pure results are
+  // ever inserted below.
+  if (!cache_on || (!pure && !opts.allow_cached_when_budgeted)) {
     return route_one(cs, opts, opts.budget);
   }
   CacheKey key = make_key(cs, opts);
@@ -164,7 +169,7 @@ alg::RouteResult BatchRouter::route(const ConnectionSet& cs,
   }
   SEGROUTE_COUNT("engine.cache.misses", 1);
   alg::RouteResult res = route_one(cs, opts, opts.budget);
-  if (cacheable(res)) {
+  if (pure && cacheable(res)) {
     std::lock_guard<std::mutex> lock(shard.mu);
     // Another thread may have inserted the same key while we routed;
     // both computed identical results, so keeping the existing entry is
@@ -275,6 +280,23 @@ CacheStats BatchRouter::cache_stats() const {
   }
   s.capacity = opts_.use_cache ? opts_.cache_capacity : 0;
   return s;
+}
+
+std::vector<CacheStats> BatchRouter::shard_stats() const {
+  std::vector<CacheStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    CacheStats s;
+    s.hits = shard->hits;
+    s.misses = shard->misses;
+    s.evictions = shard->evictions;
+    s.invalidations = shard->invalidations;
+    s.size = shard->entries.size();
+    s.capacity = shard->capacity;
+    out.push_back(s);
+  }
+  return out;
 }
 
 void BatchRouter::clear_cache() {

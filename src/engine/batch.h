@@ -46,7 +46,9 @@
 //     instance can never be served another permutation's routing;
 //   - only *pure* results — success or proven infeasibility under an
 //     unlimited budget — are cached; budget-limited calls bypass the
-//     cache entirely in both directions;
+//     cache entirely in both directions (unless the caller opts into
+//     read-only service via allow_cached_when_budgeted, which can only
+//     substitute the exact unlimited answer);
 //   - route_many() partitions statically (instance i's result never
 //     depends on scheduling); only the cache *counters* may vary with
 //     thread interleaving, never the results.
@@ -130,6 +132,17 @@ struct EngineRouteOptions {
   /// bypass the memo cache (budget-limited outcomes are not pure
   /// functions of the instance).
   harness::Budget budget;
+
+  /// Opt-in relaxation of the budget/cache rule for service front ends
+  /// (svc::RoutingService sets it): a budget-limited call may be *served
+  /// from* the memo cache. Sound because cached entries are pure results
+  /// — success or proven infeasibility computed under an unlimited
+  /// budget — so a hit returns the exact unlimited answer instead of
+  /// re-deriving a kBudgetExhausted. Results computed under a budget are
+  /// still never inserted. Off by default: the strict "budget-limited
+  /// calls bypass the cache in both directions" contract stays the
+  /// engine's default behavior.
+  bool allow_cached_when_budgeted = false;
 };
 
 /// Memo-cache observability counters (a snapshot; `size` <= `capacity`).
@@ -144,11 +157,12 @@ struct CacheStats {
 
 struct BatchOptions {
   /// Worker threads for route_many. The library-wide convention
-  /// (shared with alg::CapacityOptions::threads and
-  /// fpga::FabricOptions::threads): 1 = serial, N > 1 = fixed, and
-  /// <= 0 = "auto" — util::hardware_threads(), the clamped hardware
-  /// concurrency. Partitioning stays static and deterministic for every
-  /// resolved value, so results never depend on the choice.
+  /// (shared with alg::CapacityOptions::threads,
+  /// fpga::FabricOptions::threads and svc::SvcOptions::threads):
+  /// 1 = serial, N > 1 = fixed, and <= 0 = "auto" —
+  /// util::hardware_threads(), the clamped hardware concurrency.
+  /// Partitioning stays static and deterministic for every resolved
+  /// value, so results never depend on the choice.
   int threads = 1;
 
   /// Enable the memo cache.
@@ -213,6 +227,12 @@ class BatchRouter {
   void invalidate(std::uint64_t fingerprint);
 
   [[nodiscard]] CacheStats cache_stats() const;
+
+  /// Per-shard snapshots, in shard order (the obs registry exposes these
+  /// as svc.cache.shard<i>.* gauges via the routing service). Their field
+  /// sums equal cache_stats() up to updates racing the walk.
+  [[nodiscard]] std::vector<CacheStats> shard_stats() const;
+
   void clear_cache();
 
  private:
@@ -258,10 +278,18 @@ class BatchRouter {
   };
 
   [[nodiscard]] Shard& shard_of(std::uint64_t hash) {
-    // Upper hash bits pick the shard; the map inside the shard keeps
-    // using the full hash, so shard selection and bucket choice stay
-    // decorrelated enough for the FNV mix.
-    return *shards_[(hash >> 32) % shards_.size()];
+    // Finalize (splitmix64) before selecting: the raw key hash sums
+    // per-connection FNV terms whose bits 32..39 are nearly constant
+    // for small column operands, so the previous `(hash >> 32) %
+    // nshards` pinned every key of a typical small-channel workload to
+    // ONE shard — an LRU thrashing that 1/16th of the nominal capacity.
+    // The mix spreads all input bits into the selector; the map inside
+    // the shard keeps using the unfinalized hash.
+    std::uint64_t z = hash;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return *shards_[z % shards_.size()];
   }
 
   CacheKey make_key(const ConnectionSet& cs,

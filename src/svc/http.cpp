@@ -1,0 +1,160 @@
+#include "svc/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace segroute::svc {
+
+namespace {
+
+std::string make_response(int status, const char* reason,
+                          const char* content_type, std::string body) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status << " " << reason << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return;  // peer went away; nothing useful to do
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string ExpositionServer::handle_request(std::string_view request) {
+  // Parse only the request line: "<METHOD> <path> HTTP/1.x". Everything
+  // after the first line (headers, body) is irrelevant to exposition.
+  const std::size_t eol = request.find("\r\n");
+  std::string_view line =
+      eol == std::string_view::npos ? request : request.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return make_response(400, "Bad Request", "text/plain", "bad request\n");
+  }
+  const std::string_view method = line.substr(0, sp1);
+  std::string_view path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string_view::npos) path = path.substr(0, query);
+
+  if (method != "GET") {
+    return make_response(405, "Method Not Allowed", "text/plain",
+                         "only GET is served here\n");
+  }
+  if (path == "/healthz") {
+    return make_response(200, "OK", "text/plain", "ok\n");
+  }
+  if (path == "/metrics") {
+    return make_response(200, "OK",
+                         "text/plain; version=0.0.4; charset=utf-8",
+                         obs::Registry::instance().prometheus_text());
+  }
+  if (path == "/metrics.json") {
+    return make_response(200, "OK", "application/json",
+                         obs::Registry::instance().json_text());
+  }
+  return make_response(404, "Not Found", "text/plain", "not found\n");
+}
+
+ExpositionServer::ExpositionServer(HttpOptions opts)
+    : opts_(std::move(opts)) {}
+
+ExpositionServer::~ExpositionServer() { stop(); }
+
+bool ExpositionServer::start() {
+  if (running_.load(std::memory_order_relaxed)) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, opts_.backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+  }
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void ExpositionServer::stop() {
+  if (!running_.exchange(false, std::memory_order_relaxed)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // shutdown() unblocks the accept(2) the loop is parked in; close()
+  // alone is not guaranteed to on all kernels.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void ExpositionServer::accept_loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (!running_.load(std::memory_order_relaxed)) break;
+      continue;  // transient (EINTR, aborted handshake)
+    }
+    serve_client(client);
+    ::close(client);
+  }
+}
+
+void ExpositionServer::serve_client(int fd) {
+  // Exposition requests fit one segment; read once, answer, close. A
+  // short recv timeout keeps a stalled client from wedging the loop.
+  timeval tv;
+  tv.tv_sec = 2;
+  tv.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  char buf[4096];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  send_all(fd, handle_request(std::string_view(buf,
+                                               static_cast<std::size_t>(n))));
+}
+
+}  // namespace segroute::svc

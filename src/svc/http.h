@@ -1,0 +1,93 @@
+// Minimal POSIX-socket HTTP endpoint serving the obs registry.
+//
+// A long-running routing service needs its health and metrics visible
+// to the outside — a Prometheus scraper, a load balancer's health
+// probe, a human with curl — without linking a web framework the
+// container does not have. This is the smallest server that does that
+// honestly:
+//
+//   GET /metrics        Prometheus text 0.0.4 (obs prometheus_text())
+//   GET /metrics.json   the registry's JSON snapshot
+//   GET /healthz        200 "ok\n" (liveness)
+//   anything else       404; non-GET methods 405
+//
+// One blocking accept loop on a dedicated thread, one short-lived
+// connection per request (Connection: close), no keep-alive, no TLS,
+// no request body handling. That is deliberate: exposition responses
+// are built from a registry snapshot in microseconds, so concurrency
+// buys nothing, and every line of server code here is attack surface
+// on a port. Binding defaults to 127.0.0.1 (scrape via sidecar or
+// port-forward); port 0 asks the kernel for an ephemeral port, read
+// back with port() — which is also what makes parallel tests safe.
+//
+// The request handler is a pure function (handle_request) so tests can
+// cover routing and response framing without opening sockets; the
+// socket end-to-end path is covered by tests that skip gracefully on
+// sandboxes without loopback networking.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace segroute::svc {
+
+struct HttpOptions {
+  /// Bind address. Keep it loopback unless you mean to be scraped
+  /// from off-host.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 = kernel-assigned ephemeral (see port()).
+  int port = 0;
+  /// listen(2) backlog.
+  int backlog = 16;
+};
+
+/// The /metrics endpoint. start() binds and spawns the accept thread;
+/// stop() (or the destructor) shuts the listener down and joins.
+class ExpositionServer {
+ public:
+  explicit ExpositionServer(HttpOptions opts = {});
+  ~ExpositionServer();
+
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  /// Binds, listens and starts serving. False (with errno intact) when
+  /// the socket cannot be created/bound — e.g. a sandbox without
+  /// networking; callers degrade gracefully rather than crash.
+  bool start();
+
+  /// Stops accepting, closes the listener and joins the thread.
+  /// Idempotent.
+  void stop();
+
+  /// The bound port (resolves port 0), or 0 before start().
+  [[nodiscard]] int port() const { return port_; }
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of requests served since start (any status).
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Pure request handler: maps "<METHOD> <path> ..." request text to a
+  /// complete HTTP/1.1 response (status line, headers, body). Exposed
+  /// for tests; the accept loop calls exactly this.
+  static std::string handle_request(std::string_view request);
+
+ private:
+  void accept_loop();
+  void serve_client(int fd);
+
+  HttpOptions opts_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace segroute::svc
