@@ -1,17 +1,41 @@
 // Incremental design editing: the OnlineRouter inserting, removing and
-// rerouting connections the way an interactive FPGA tool does, with an
-// SVG snapshot of the final state written next to the binary.
+// rerouting connections the way an interactive FPGA tool does, then an
+// ECO applied through the ChannelEdit delta contract — every edit
+// returns a proof-carrying RepairOutcome saying whether the localized
+// repair or the full-DP fallback ran, and the final state is verified
+// bit-identical to routing the same set from scratch.
 //
-// Run:  ./build/examples/incremental_edit  [output.svg]
+// Run:  ./build/examples/incremental_edit  [--out output.svg]
+// The SVG snapshot defaults to incremental_edit.svg next to the binary
+// (never the source tree).
 #include <fstream>
 #include <iostream>
 #include <random>
+#include <string>
 
 #include "segroute.h"
 
 using namespace segroute;
 
 int main(int argc, char** argv) {
+  std::string out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--out output.svg]\n";
+      return 2;
+    }
+  }
+  if (out.empty()) {
+    out = argv[0];
+    const std::size_t slash = out.find_last_of('/');
+    out = (slash == std::string::npos ? std::string(".")
+                                      : out.substr(0, slash)) +
+          "/incremental_edit.svg";
+  }
+
   const auto channel = gen::staggered_segmentation(5, 32, 8);
   alg::OnlineRouter router(channel);
 
@@ -34,10 +58,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  // An engineering change order: delete a few nets, add replacements.
-  std::cout << "\nECO: removing 3 nets, adding 3 longer ones\n";
+  // An engineering change order through the delta contract: each edit is
+  // one ChannelEdit, and the RepairOutcome receipt reports which path
+  // ran and the column window the repair re-evaluated.
+  std::cout << "\nECO: removing 3 nets, adding 3 longer ones (delta API)\n";
   for (int k = 0; k < 3 && !live.empty(); ++k) {
-    router.remove(live.back());
+    const ConnId victim = live.back();
+    const alg::RepairOutcome rc = router.apply(alg::ChannelEdit::remove(victim));
+    std::cout << "  remove #" << victim << " -> " << alg::to_string(rc.path)
+              << ", window [" << rc.affected_lo << "," << rc.affected_hi
+              << "], reconsidered " << rc.reconsidered << "\n";
     live.pop_back();
   }
   for (int i = 0; i < 3; ++i) {
@@ -45,10 +75,16 @@ int main(int argc, char** argv) {
     const Column r = std::min<Column>(32, l + 10 + static_cast<Column>(rng() % 6));
     std::string name = "eco";
     name += std::to_string(i);
-    if (auto id = router.insert_with_ripup(l, r, name)) {
-      live.push_back(*id);
-      std::cout << "insert eco" << i << " [" << l << "," << r << "] -> t"
-                << router.track_of(*id) + 1 << "\n";
+    const alg::RepairOutcome rc =
+        router.apply(alg::ChannelEdit::add(l, r, name));
+    if (rc.success) {
+      live.push_back(rc.id);
+      std::cout << "  add " << name << " [" << l << "," << r << "] -> t"
+                << router.track_of(rc.id) + 1 << " via "
+                << alg::to_string(rc.path) << "\n";
+    } else {
+      std::cout << "  add " << name << " [" << l << "," << r
+                << "] -> REJECTED (state rolled back)\n";
     }
   }
 
@@ -69,12 +105,19 @@ int main(int argc, char** argv) {
             << (verdict ? "yes" : verdict.error) << "\n"
             << io::render(channel, cs, routing);
 
+  // The session invariant the whole delta layer rests on: the edited
+  // state is bit-identical to routing the same set from scratch.
+  const alg::CanonicalResult canon = alg::from_scratch(channel, cs, true, 0);
+  std::cout << "canonical check: "
+            << (canon.result.success && canon.result.routing == routing
+                    ? "session == from-scratch (bit-identical)\n"
+                    : "MISMATCH\n");
+
   const auto stats = utilization(channel, cs, routing);
   std::cout << "wire utilization " << io::Table::num(100 * stats.wire_utilization(), 1)
             << "%, overhang " << io::Table::num(stats.overhang(), 2) << "x\n";
 
-  const std::string path = argc > 1 ? argv[1] : "incremental_edit.svg";
-  std::ofstream(path) << io::to_svg(channel, cs, &routing);
-  std::cout << "SVG written to " << path << "\n";
+  std::ofstream(out) << io::to_svg(channel, cs, &routing);
+  std::cout << "SVG written to " << out << "\n";
   return 0;
 }

@@ -30,6 +30,6 @@ ctest --test-dir "$BUILD-obs-off" --output-on-failure -j "$JOBS" \
 
 echo "== [3/3] sanitizer + perf gates (tier-1 build) =="
 ctest --test-dir "$BUILD" --output-on-failure \
-  -R '^(tsan_smoke|perf_smoke|perf_engine|perf_fabric|perf_obs|perf_svc|svc_smoke)$'
+  -R '^(tsan_smoke|perf_smoke|perf_engine|perf_fabric|perf_obs|perf_svc|perf_incremental|svc_smoke)$'
 
 echo "verify.sh: all gates passed"

@@ -1,0 +1,93 @@
+#include "alg/delta.h"
+
+#include <limits>
+
+#include "alg/registry.h"
+#include "core/routing.h"
+
+namespace segroute::alg {
+
+const char* to_string(ChannelEdit::Kind k) {
+  switch (k) {
+    case ChannelEdit::Kind::kAdd: return "add";
+    case ChannelEdit::Kind::kRemove: return "remove";
+    case ChannelEdit::Kind::kMove: return "move";
+  }
+  return "?";
+}
+
+const char* to_string(RepairOutcome::Path p) {
+  switch (p) {
+    case RepairOutcome::Path::kNone: return "none";
+    case RepairOutcome::Path::kRepair: return "repair";
+    case RepairOutcome::Path::kFullDp: return "full-dp";
+  }
+  return "?";
+}
+
+CanonicalResult from_scratch(const SegmentedChannel& ch,
+                             const ConnectionSet& cs, bool policy_best_fit,
+                             int max_segments, const harness::Budget& budget) {
+  CanonicalResult out;
+  out.result.routing = Routing(cs.size());
+
+  // Canonical greedy: insert in id order, picking the policy's track with
+  // the same scan order and tie-breaks as OnlineRouter::pick_track. This
+  // deliberately goes through Track (binary-search segment_at), not
+  // ChannelIndex, so the incremental engine is diffed against an
+  // independently derived answer.
+  Occupancy occ(ch);
+  bool greedy_ok = true;
+  for (ConnId i = 0; i < cs.size(); ++i) {
+    const Connection& c = cs[i];
+    if (c.left < 1 || c.left > c.right || c.right > ch.width()) {
+      out.result.fail(FailureKind::kInvalidInput,
+                      "delta: connection " + std::to_string(i) +
+                          " has an invalid span");
+      return out;
+    }
+    std::optional<TrackId> best;
+    Column best_len = std::numeric_limits<Column>::max();
+    for (TrackId t = 0; t < ch.num_tracks(); ++t) {
+      if (max_segments > 0 &&
+          ch.track(t).segments_spanned(c.left, c.right) > max_segments) {
+        continue;
+      }
+      if (!occ.fits(t, c.left, c.right)) continue;
+      if (!policy_best_fit) {
+        best = t;
+        break;
+      }
+      const Column len = ch.track(t).occupied_length(c.left, c.right);
+      if (len < best_len) {
+        best_len = len;
+        best = t;
+      }
+    }
+    if (!best) {
+      greedy_ok = false;
+      break;
+    }
+    occ.place(*best, c.left, c.right, i);
+    out.result.routing.assign(i, *best);
+  }
+  if (greedy_ok) {
+    out.result.success = true;
+    out.regime = CanonicalRegime::kGreedy;
+    return out;
+  }
+
+  // Greedy left a connection unplaced: canonical(S) is the exact DP's
+  // answer (registry "dp", default options — the session's fallback calls
+  // it the same way, so the routings agree bit for bit).
+  RouteRequest rq;
+  rq.channel = &ch;
+  rq.connections = &cs;
+  rq.options.max_segments = max_segments;
+  rq.budget = budget;
+  out.result = route("dp", rq);
+  out.regime = CanonicalRegime::kDp;
+  return out;
+}
+
+}  // namespace segroute::alg

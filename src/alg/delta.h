@@ -1,0 +1,147 @@
+// The per-connection delta contract: edit a live routing instead of
+// re-routing the channel from scratch.
+//
+// Interactive FPGA tooling is edit-dominated: an engineering change
+// order adds, removes or moves ONE connection, and the tool wants the
+// new routing in microseconds, not a full re-solve. The contract below
+// makes that sound by pinning down what "the new routing" *is*:
+//
+//   canonical(S) = greedy(S)   when the canonical greedy (insert live
+//                              connections in id order under the
+//                              session policy) places every connection;
+//                = dp(S)       otherwise, when the exact DP routes S;
+//                = reject      otherwise (the edit that produced S is
+//                              refused and the session is unchanged).
+//
+// canonical() is a pure function of the live connection sequence — no
+// history, no clocks, no RNG — so an incremental engine that maintains
+// it is *bit-identical to from-scratch routing* after every edit. That
+// is the gate the randomized edit-script suite enforces.
+//
+// The repair-first algorithm (OnlineRouter::apply) maintains
+// canonical(S) without replaying everything. An edit dirties a column
+// interval; the interval is closed over segment boundaries on every
+// track (ChannelIndex per-column structure) and over the spans of the
+// connections it touches, to a fixpoint. Connections outside the closed
+// interval provably keep their canonical placement — every segment
+// their greedy decision can see lies outside the dirty region — so only
+// the affected ones are re-placed, in id order. When the localized
+// replay leaves a connection unplaced, the engine falls back to the
+// full DP; when even that fails, the edit is rejected and the state
+// rolled back. The RepairOutcome says which path ran — a proof-carrying
+// receipt, not a hint: kRepair means the localized replay re-derived
+// the greedy fixpoint, kFullDp means the exposed routing is the DP's.
+//
+// from_scratch() is the *independent* reference implementation of
+// canonical(): a plain insertion loop over Track (not ChannelIndex)
+// plus a registry "dp" call. Tests diff the incremental engine against
+// it bitwise; the "delta" registry router serves it through the batch
+// engine so the same reference runs under every thread count and cache
+// mode.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "alg/result.h"
+#include "core/channel.h"
+#include "core/connection.h"
+#include "core/routing.h"
+#include "harness/budget.h"
+
+namespace segroute::alg {
+
+/// One edit of a live routing session: add, remove or move a single
+/// connection. Built via the factories; a default-constructed edit is
+/// invalid (kAdd with an empty span) and is rejected by apply().
+struct ChannelEdit {
+  enum class Kind { kAdd = 0, kRemove, kMove };
+
+  Kind kind = Kind::kAdd;
+  ConnId id = kNoConn;    // remove/move: which connection
+  Column left = 0;        // add/move: the (new) span
+  Column right = 0;
+  std::string name;       // add: diagnostic name
+
+  static ChannelEdit add(Column l, Column r, std::string name = {}) {
+    ChannelEdit e;
+    e.kind = Kind::kAdd;
+    e.left = l;
+    e.right = r;
+    e.name = std::move(name);
+    return e;
+  }
+  static ChannelEdit remove(ConnId id) {
+    ChannelEdit e;
+    e.kind = Kind::kRemove;
+    e.id = id;
+    return e;
+  }
+  static ChannelEdit move(ConnId id, Column l, Column r) {
+    ChannelEdit e;
+    e.kind = Kind::kMove;
+    e.id = id;
+    e.left = l;
+    e.right = r;
+    return e;
+  }
+};
+
+const char* to_string(ChannelEdit::Kind k);
+
+/// Proof-carrying outcome of one apply(): which algorithm produced the
+/// exposed state, what it touched, and why it failed if it did. The
+/// session state after a failed apply() is bit-identical to the state
+/// before it (rollback is part of the contract).
+struct RepairOutcome {
+  enum class Path {
+    kNone = 0,   // edit rejected before any routing ran
+    kRepair,     // localized replay of the affected window sufficed
+    kFullDp,     // local repair left a connection unplaced; DP re-solved
+  };
+
+  bool success = false;
+  Path path = Path::kNone;
+  FailureKind failure = FailureKind::kNone;
+
+  /// Id of the connection the edit created (kAdd) or targeted.
+  ConnId id = kNoConn;
+
+  /// The affected-column mask: the closed dirty interval the repair
+  /// re-evaluated, in channel columns ([0, -1] when nothing was dirty).
+  /// Everything outside it provably kept its placement.
+  Column affected_lo = 0;
+  Column affected_hi = -1;
+
+  int reconsidered = 0;  // connections re-evaluated by the repair
+  int moved = 0;         // ... of which changed track
+  std::string note;
+};
+
+const char* to_string(RepairOutcome::Path p);
+
+/// Which regime canonical(S) resolved to.
+enum class CanonicalRegime {
+  kGreedy = 0,  // the canonical greedy placed everything
+  kDp,          // greedy left a connection unplaced; DP routed S
+};
+
+/// canonical(S) computed from scratch: the independent reference the
+/// edit-script suite diffs incremental sessions against. `policy_best_fit`
+/// selects the BestFit pick (the session default); false = FirstFit.
+/// On success `regime` says which branch of canonical() produced
+/// `result.routing`. Failure kinds: kInvalidInput for malformed spans,
+/// kInfeasible when neither greedy nor DP routes S, kBudgetExhausted
+/// when the DP fallback ran out of `budget`.
+struct CanonicalResult {
+  RouteResult result;
+  CanonicalRegime regime = CanonicalRegime::kGreedy;
+};
+
+CanonicalResult from_scratch(const SegmentedChannel& ch,
+                             const ConnectionSet& cs, bool policy_best_fit,
+                             int max_segments,
+                             const harness::Budget& budget = {});
+
+}  // namespace segroute::alg

@@ -1,22 +1,28 @@
 #include "alg/online.h"
 
+#include <algorithm>
 #include <limits>
+#include <utility>
+
+#include "alg/registry.h"
 
 namespace segroute::alg {
 
 OnlineRouter::OnlineRouter(SegmentedChannel channel, Policy policy,
                            int max_segments)
     : channel_(std::move(channel)),
+      index_(channel_),
       policy_(policy),
       max_segments_(max_segments),
       occ_(channel_) {}
 
 bool OnlineRouter::feasible_on(const Connection& c, TrackId t) const {
-  if (max_segments_ > 0 &&
-      channel_.track(t).segments_spanned(c.left, c.right) > max_segments_) {
-    return false;
+  const auto [a, b] = index_.span(t, c.left, c.right);
+  if (max_segments_ > 0 && b - a + 1 > max_segments_) return false;
+  for (SegId s = a; s <= b; ++s) {
+    if (occ_.occupant(t, s) != kNoConn) return false;
   }
-  return occ_.fits(t, c.left, c.right);
+  return true;
 }
 
 std::optional<TrackId> OnlineRouter::pick_track(const Connection& c) const {
@@ -25,7 +31,7 @@ std::optional<TrackId> OnlineRouter::pick_track(const Connection& c) const {
   for (TrackId t = 0; t < channel_.num_tracks(); ++t) {
     if (!feasible_on(c, t)) continue;
     if (policy_ == Policy::FirstFit) return t;
-    const Column len = channel_.track(t).occupied_length(c.left, c.right);
+    const Column len = index_.occupied_length(t, c.left, c.right);
     if (len < best_len) {
       best_len = len;
       best = t;
@@ -53,6 +59,9 @@ std::optional<ConnId> OnlineRouter::insert(Column left, Column right,
   track_of_.push_back(*t);
   live_.push_back(true);
   ++num_placed_;
+  // A greedy append in id order IS the canonical construction step, so
+  // a canonical state stays canonical (and a non-canonical one stays
+  // whatever it was).
   return id;
 }
 
@@ -65,11 +74,8 @@ std::optional<ConnId> OnlineRouter::insert_with_ripup(Column left, Column right,
   // the segments c would need; c must then fit the track and the victim
   // must fit somewhere else.
   for (TrackId t = 0; t < channel_.num_tracks(); ++t) {
-    if (max_segments_ > 0 &&
-        channel_.track(t).segments_spanned(c.left, c.right) > max_segments_) {
-      continue;
-    }
-    auto [a, b] = channel_.track(t).span(c.left, c.right);
+    const auto [a, b] = index_.span(t, c.left, c.right);
+    if (max_segments_ > 0 && b - a + 1 > max_segments_) continue;
     // Collect distinct blockers on this track.
     std::vector<ConnId> blockers;
     for (SegId s = a; s <= b; ++s) {
@@ -97,6 +103,7 @@ std::optional<ConnId> OnlineRouter::insert_with_ripup(Column left, Column right,
         occ_.place(*new_home, vc.left, vc.right, victim);
         track_of_[static_cast<std::size_t>(victim)] = *new_home;
         last_failure_ = FailureKind::kNone;
+        greedy_canonical_ = false;  // eviction breaks the id-order build
         return id;
       }
       occ_.remove(t, c.left, c.right);  // undo the tentative placement
@@ -115,6 +122,8 @@ bool OnlineRouter::remove(ConnId id) {
   live_[static_cast<std::size_t>(id)] = false;
   track_of_[static_cast<std::size_t>(id)] = kNoTrack;
   --num_placed_;
+  last_failure_ = FailureKind::kNone;
+  greedy_canonical_ = false;  // survivors were placed around the hole
   return true;
 }
 
@@ -126,7 +135,265 @@ TrackId OnlineRouter::reroute(ConnId id) {
   const auto t = pick_track(c);  // old track is free again, so always set
   occ_.place(*t, c.left, c.right, id);
   track_of_[static_cast<std::size_t>(id)] = *t;
+  last_failure_ = FailureKind::kNone;
+  greedy_canonical_ = false;  // out-of-order re-placement
   return *t;
+}
+
+void OnlineRouter::close_over_segments(Column& lo, Column& hi) const {
+  lo = std::max<Column>(1, lo);
+  hi = std::min(channel_.width(), hi);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (TrackId t = 0; t < index_.num_tracks(); ++t) {
+      const Column l = index_.seg_left(t, index_.segment_at(t, lo));
+      const Column r = index_.seg_right(t, index_.segment_at(t, hi));
+      if (l < lo) {
+        lo = l;
+        changed = true;
+      }
+      if (r > hi) {
+        hi = r;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool OnlineRouter::repair_window(Column lo, Column hi, RepairOutcome& out) {
+  close_over_segments(lo, hi);
+  // Cascade: the window must contain the full span of every connection
+  // it touches (so their candidate segments all lie inside it), and stay
+  // segment-closed. Grow to the joint fixpoint.
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (ConnId id = 0; id < static_cast<ConnId>(conns_.size()); ++id) {
+      if (!live_[static_cast<std::size_t>(id)]) continue;
+      const Connection& c = conns_[static_cast<std::size_t>(id)];
+      if (c.left > hi || c.right < lo) continue;
+      if (c.left < lo) {
+        lo = c.left;
+        grew = true;
+      }
+      if (c.right > hi) {
+        hi = c.right;
+        grew = true;
+      }
+    }
+    if (grew) close_over_segments(lo, hi);
+  }
+  out.affected_lo = lo;
+  out.affected_hi = hi;
+
+  // Affected = live connections inside the closed window. Everything
+  // else provably keeps its canonical placement: its candidate segments
+  // are disjoint from the window (the window is segment-closed), and
+  // affected connections only ever occupy segments inside it.
+  std::vector<ConnId> affected;
+  std::vector<TrackId> prev;
+  for (ConnId id = 0; id < static_cast<ConnId>(conns_.size()); ++id) {
+    if (!live_[static_cast<std::size_t>(id)]) continue;
+    const Connection& c = conns_[static_cast<std::size_t>(id)];
+    if (c.left > hi || c.right < lo) continue;
+    affected.push_back(id);
+    prev.push_back(track_of_[static_cast<std::size_t>(id)]);
+  }
+  for (std::size_t i = 0; i < affected.size(); ++i) {
+    const ConnId id = affected[i];
+    if (prev[i] == kNoTrack) continue;  // the edited conn, not yet placed
+    const Connection& c = conns_[static_cast<std::size_t>(id)];
+    occ_.remove(prev[i], c.left, c.right);
+    track_of_[static_cast<std::size_t>(id)] = kNoTrack;
+    --num_placed_;
+  }
+  // Re-place in increasing id order — exactly the canonical greedy
+  // replay, restricted to the window.
+  for (std::size_t i = 0; i < affected.size(); ++i) {
+    const ConnId id = affected[i];
+    const Connection& c = conns_[static_cast<std::size_t>(id)];
+    ++out.reconsidered;
+    const auto t = pick_track(c);
+    if (!t) return false;
+    occ_.place(*t, c.left, c.right, id);
+    track_of_[static_cast<std::size_t>(id)] = *t;
+    ++num_placed_;
+    if (prev[i] != kNoTrack && prev[i] != *t) ++out.moved;
+  }
+  return true;
+}
+
+bool OnlineRouter::full_dp(const harness::Budget& budget, RepairOutcome& out) {
+  ConnectionSet cs;
+  std::vector<ConnId> ids;
+  for (ConnId id = 0; id < static_cast<ConnId>(conns_.size()); ++id) {
+    if (!live_[static_cast<std::size_t>(id)]) continue;
+    const Connection& c = conns_[static_cast<std::size_t>(id)];
+    cs.add(c.left, c.right, c.name);
+    ids.push_back(id);
+  }
+  RouteRequest rq;
+  rq.channel = &channel_;
+  rq.connections = &cs;
+  rq.context.index = &index_;
+  rq.options.max_segments = max_segments_;
+  rq.budget = budget;
+  const RouteResult res = route("dp", rq);
+  if (!res.success) {
+    out.failure = res.failure == FailureKind::kNone ? FailureKind::kInternal
+                                                    : res.failure;
+    out.note = res.note;
+    return false;
+  }
+  occ_.reset();
+  num_placed_ = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const ConnId id = ids[i];
+    const Connection& c = conns_[static_cast<std::size_t>(id)];
+    const TrackId t = res.routing.track_of(static_cast<ConnId>(i));
+    occ_.place(t, c.left, c.right, id);
+    track_of_[static_cast<std::size_t>(id)] = t;
+    ++num_placed_;
+  }
+  greedy_canonical_ = false;
+  out.success = true;
+  out.path = RepairOutcome::Path::kFullDp;
+  out.affected_lo = 1;
+  out.affected_hi = channel_.width();
+  out.reconsidered = static_cast<int>(ids.size());
+  return true;
+}
+
+OnlineRouter::Memento OnlineRouter::save_state() const {
+  return Memento{conns_, track_of_, live_, occ_, num_placed_,
+                 greedy_canonical_};
+}
+
+void OnlineRouter::restore_state(Memento&& m) {
+  conns_ = std::move(m.conns);
+  track_of_ = std::move(m.track_of);
+  live_ = std::move(m.live);
+  occ_ = std::move(m.occ);
+  num_placed_ = m.num_placed;
+  greedy_canonical_ = m.greedy_canonical;
+}
+
+RepairOutcome OnlineRouter::apply(const ChannelEdit& edit,
+                                  const harness::Budget& budget) {
+  RepairOutcome out;
+  out.id = edit.id;
+  if (edit.kind != ChannelEdit::Kind::kRemove &&
+      (edit.left < 1 || edit.left > edit.right ||
+       edit.right > channel_.width())) {
+    out.failure = FailureKind::kInvalidInput;
+    out.note = std::string("apply: ") + to_string(edit.kind) +
+               " with an invalid span";
+    last_failure_ = FailureKind::kInvalidInput;
+    return out;
+  }
+  if (edit.kind != ChannelEdit::Kind::kAdd && !is_placed(edit.id)) {
+    out.failure = FailureKind::kInvalidInput;
+    out.note = std::string("apply: ") + to_string(edit.kind) +
+               " of an unknown or removed id";
+    last_failure_ = FailureKind::kInvalidInput;
+    return out;
+  }
+
+  // Fast path: appending to a canonical greedy state IS one canonical
+  // construction step — nothing else can be affected.
+  if (edit.kind == ChannelEdit::Kind::kAdd && greedy_canonical_) {
+    Connection c{edit.left, edit.right, edit.name};
+    if (const auto t = pick_track(c)) {
+      const ConnId id = static_cast<ConnId>(conns_.size());
+      occ_.place(*t, c.left, c.right, id);
+      conns_.push_back(std::move(c));
+      track_of_.push_back(*t);
+      live_.push_back(true);
+      ++num_placed_;
+      out.id = id;
+      out.success = true;
+      out.path = RepairOutcome::Path::kRepair;
+      Column lo = edit.left;
+      Column hi = edit.right;
+      close_over_segments(lo, hi);
+      out.affected_lo = lo;
+      out.affected_hi = hi;
+      out.reconsidered = 1;
+      last_failure_ = FailureKind::kNone;
+      return out;
+    }
+    // Greedy fails on the appended sequence, so canonical(S') is the
+    // DP's answer (or the edit is infeasible).
+  }
+
+  Memento snap = save_state();
+
+  // Apply the structural edit; remember which columns it dirtied.
+  Column lo = 1;
+  Column hi = channel_.width();
+  switch (edit.kind) {
+    case ChannelEdit::Kind::kAdd: {
+      out.id = static_cast<ConnId>(conns_.size());
+      conns_.push_back(Connection{edit.left, edit.right, edit.name});
+      track_of_.push_back(kNoTrack);
+      live_.push_back(true);
+      lo = edit.left;
+      hi = edit.right;
+      break;
+    }
+    case ChannelEdit::Kind::kRemove: {
+      const Connection c = conns_[static_cast<std::size_t>(edit.id)];
+      occ_.remove(track_of_[static_cast<std::size_t>(edit.id)], c.left,
+                  c.right);
+      track_of_[static_cast<std::size_t>(edit.id)] = kNoTrack;
+      live_[static_cast<std::size_t>(edit.id)] = false;
+      --num_placed_;
+      lo = c.left;
+      hi = c.right;
+      break;
+    }
+    case ChannelEdit::Kind::kMove: {
+      const Connection old = conns_[static_cast<std::size_t>(edit.id)];
+      occ_.remove(track_of_[static_cast<std::size_t>(edit.id)], old.left,
+                  old.right);
+      track_of_[static_cast<std::size_t>(edit.id)] = kNoTrack;
+      --num_placed_;
+      conns_[static_cast<std::size_t>(edit.id)].left = edit.left;
+      conns_[static_cast<std::size_t>(edit.id)].right = edit.right;
+      lo = std::min(old.left, edit.left);
+      hi = std::max(old.right, edit.right);
+      break;
+    }
+  }
+  // A non-canonical state (DP regime, or legacy mutators ran) gives the
+  // localized argument nothing to stand on: renormalize over the full
+  // width — still the greedy path, just with an everything-window.
+  if (!greedy_canonical_) {
+    lo = 1;
+    hi = channel_.width();
+  }
+
+  if (repair_window(lo, hi, out)) {
+    greedy_canonical_ = true;
+    out.success = true;
+    out.path = RepairOutcome::Path::kRepair;
+    last_failure_ = FailureKind::kNone;
+    return out;
+  }
+  // The localized replay reproduces the canonical greedy decisions
+  // exactly, so its failure proves the full greedy replay fails too:
+  // canonical(S') is the DP regime.
+  if (full_dp(budget, out)) {
+    last_failure_ = FailureKind::kNone;
+    return out;
+  }
+  restore_state(std::move(snap));
+  out.success = false;
+  out.path = RepairOutcome::Path::kFullDp;
+  if (edit.kind == ChannelEdit::Kind::kAdd) out.id = kNoConn;
+  last_failure_ = out.failure;
+  return out;
 }
 
 bool OnlineRouter::is_placed(ConnId id) const {

@@ -3,15 +3,32 @@
 // re-route on failure. This is the engine an interactive FPGA tool needs
 // (incremental design changes), built on the same occupancy model as the
 // batch routers.
+//
+// Two API generations coexist:
+//
+//  - the legacy per-call API (insert / insert_with_ripup / remove /
+//    reroute): best-effort heuristics with no cross-call invariant;
+//  - the delta API (apply(ChannelEdit)): maintains the *canonical*
+//    routing of the live connection sequence (alg/delta.h) via localized
+//    repair with a full-DP fallback, so an editing session stays
+//    bit-identical to routing its connection set from scratch.
+//
+// Both operate on arbitrary segmentation with K-segment limits; the hot
+// lookups (segment spans, fit scans, best-fit lengths, repair-window
+// closure) go through an owned ChannelIndex instead of per-call binary
+// searches.
 #pragma once
 
 #include <optional>
 #include <vector>
 
+#include "alg/delta.h"
 #include "alg/result.h"
 #include "core/channel.h"
+#include "core/channel_index.h"
 #include "core/connection.h"
 #include "core/routing.h"
+#include "harness/budget.h"
 
 namespace segroute::alg {
 
@@ -20,9 +37,10 @@ namespace segroute::alg {
 /// insert_with_ripup() yields nullopt with last_failure() ==
 /// FailureKind::kInvalidInput (vs kInfeasible when no feasible track
 /// exists); an unknown/removed connection id makes remove() return
-/// false and reroute()/track_of() return kNoTrack. connection() has a
-/// precondition instead (see below). The object is unchanged by any
-/// rejected call.
+/// false and reroute()/track_of() return kNoTrack; a malformed
+/// ChannelEdit makes apply() fail with kInvalidInput. The object is
+/// unchanged by any rejected call, including a failed apply() whose DP
+/// fallback ran out of budget (rollback is part of the contract).
 class OnlineRouter {
  public:
   enum class Policy {
@@ -31,8 +49,16 @@ class OnlineRouter {
   };
 
   /// `max_segments` = 0 for unlimited, K > 0 for K-segment routing.
+  /// Any segmentation is accepted (the historical le-2-segments
+  /// restriction is gone — the router indexes the channel it is given).
   explicit OnlineRouter(SegmentedChannel channel,
                         Policy policy = Policy::BestFit, int max_segments = 0);
+
+  // The owned ChannelIndex borrows the channel member, so the router is
+  // pinned to its address; hold it in a unique_ptr (or a node-stable
+  // container) when it must outlive a scope.
+  OnlineRouter(const OnlineRouter&) = delete;
+  OnlineRouter& operator=(const OnlineRouter&) = delete;
 
   /// Inserts a connection; returns its id on success (stable across
   /// removals of other connections), or nullopt on failure —
@@ -50,8 +76,10 @@ class OnlineRouter {
   std::optional<ConnId> insert_with_ripup(Column left, Column right,
                                           std::string name = {});
 
-  /// Why the most recent insert()/insert_with_ripup() returned nullopt
-  /// (kNone after a successful one).
+  /// Why the most recent mutating call failed; kNone after every
+  /// successful insert()/insert_with_ripup()/remove()/reroute()/apply().
+  /// A rejected remove()/reroute() (unknown id) leaves it untouched, as
+  /// those report failure in-band.
   [[nodiscard]] FailureKind last_failure() const { return last_failure_; }
 
   /// Removes a previously inserted connection (its id becomes invalid).
@@ -63,7 +91,29 @@ class OnlineRouter {
   /// or kNoTrack (and changes nothing) for unknown/removed ids.
   TrackId reroute(ConnId id);
 
+  /// The delta API: applies one add/remove/move edit while maintaining
+  /// the canonical routing of the live sequence (alg/delta.h). First a
+  /// localized repair re-places only the connections inside the edit's
+  /// segment-closed dirty column window; if that leaves one unplaced,
+  /// the exact DP re-routes the full live set under `budget`; if even
+  /// that fails, the edit is rejected and the state rolled back
+  /// bit-identically. The returned RepairOutcome is the receipt: which
+  /// path ran, the affected window, and the new/target connection id.
+  /// After any successful apply(), snapshot() equals
+  /// delta.h's from_scratch() on the same live set, bit for bit.
+  RepairOutcome apply(const ChannelEdit& edit,
+                      const harness::Budget& budget = {});
+
+  /// True while the live state is the canonical *greedy* routing (the
+  /// invariant the localized repair relies on). Cleared by a DP
+  /// fallback and by the legacy mutators that break the canonical
+  /// construction (insert_with_ripup/remove/reroute); the next apply()
+  /// then renormalizes over the full width before repairing locally
+  /// again.
+  [[nodiscard]] bool greedy_canonical() const { return greedy_canonical_; }
+
   [[nodiscard]] const SegmentedChannel& channel() const { return channel_; }
+  [[nodiscard]] const ChannelIndex& index() const { return index_; }
   [[nodiscard]] int num_placed() const { return num_placed_; }
   [[nodiscard]] bool is_placed(ConnId id) const;
   /// Track of a placed connection, or kNoTrack for unknown/removed ids.
@@ -73,14 +123,48 @@ class OnlineRouter {
   [[nodiscard]] const Connection& connection(ConnId id) const;
 
   /// Snapshot of the current state as a (ConnectionSet, Routing) pair —
-  /// valid by construction; tests re-validate it.
+  /// valid by construction; tests re-validate it. Live connections
+  /// appear in increasing id order (the canonical sequence order).
   [[nodiscard]] std::pair<ConnectionSet, Routing> snapshot() const;
 
  private:
   [[nodiscard]] std::optional<TrackId> pick_track(const Connection& c) const;
   [[nodiscard]] bool feasible_on(const Connection& c, TrackId t) const;
 
+  /// Expands [lo, hi] until every segment (on any track) it intersects
+  /// lies entirely inside it — the closure that makes a dirty column
+  /// window safe to repair in isolation.
+  void close_over_segments(Column& lo, Column& hi) const;
+
+  /// Re-places every live connection whose span intersects the
+  /// segment-closed window grown from [lo, hi] (cascading the closure
+  /// over affected spans to a fixpoint), in increasing id order. On
+  /// success the state is the canonical greedy routing restricted to
+  /// the window; on failure (some connection unplaced) returns false
+  /// with the occupancy partially rebuilt — callers fall back to DP or
+  /// roll back via a Memento.
+  bool repair_window(Column lo, Column hi, RepairOutcome& out);
+
+  /// Routes the full live set with the registry DP (the canonical
+  /// fallback regime). On success installs the DP routing and clears
+  /// greedy_canonical_; on failure leaves the state for the caller to
+  /// roll back.
+  bool full_dp(const harness::Budget& budget, RepairOutcome& out);
+
+  /// Copy-out/copy-in rollback state for apply()'s failure contract.
+  struct Memento {
+    std::vector<Connection> conns;
+    std::vector<TrackId> track_of;
+    std::vector<bool> live;
+    Occupancy occ;
+    int num_placed;
+    bool greedy_canonical;
+  };
+  [[nodiscard]] Memento save_state() const;
+  void restore_state(Memento&& m);
+
   SegmentedChannel channel_;
+  ChannelIndex index_;  // must follow channel_ (borrows it)
   Policy policy_;
   int max_segments_;
   FailureKind last_failure_ = FailureKind::kNone;
@@ -89,6 +173,7 @@ class OnlineRouter {
   std::vector<TrackId> track_of_;   // kNoTrack when removed
   std::vector<bool> live_;
   int num_placed_ = 0;
+  bool greedy_canonical_ = true;
 };
 
 }  // namespace segroute::alg

@@ -4,6 +4,7 @@
 
 #include "alg/anneal_route.h"
 #include "alg/branch_bound.h"
+#include "alg/delta.h"
 #include "alg/dp.h"
 #include "alg/exhaustive.h"
 #include "alg/greedy1.h"
@@ -156,6 +157,30 @@ RouteResult route_online(const RouteRequest& rq) {
   return res;
 }
 
+RouteResult route_delta(const RouteRequest& rq) {
+  const std::string policy = rq.options.param_str("policy", "best-fit");
+  bool best_fit;
+  if (policy == "best-fit") {
+    best_fit = true;
+  } else if (policy == "first-fit") {
+    best_fit = false;
+  } else {
+    RouteResult res;
+    res.routing = Routing(rq.connections->size());
+    res.fail(FailureKind::kInvalidInput,
+             "delta: unknown policy \"" + policy + "\"");
+    return res;
+  }
+  CanonicalResult cr =
+      from_scratch(*rq.channel, *rq.connections, best_fit,
+                   rq.options.max_segments, rq.budget);
+  if (cr.result.success && cr.result.note.empty()) {
+    cr.result.note = cr.regime == CanonicalRegime::kGreedy ? "regime=greedy"
+                                                           : "regime=dp";
+  }
+  return cr.result;
+}
+
 RouteResult route_express(const RouteRequest& rq) {
   return net::express_route(*rq.channel, *rq.connections,
                             rq.options.max_segments, rq.context);
@@ -228,8 +253,14 @@ const std::vector<RouterEntry>& registry() {
         .supports_k = true,
         .anytime = true},
        &route_exhaustive},
-      {"online", "Problems 1-2 heuristic (incremental insert + rip-up)",
-       "O(M * T) per insert", {.supports_k = true}, &route_online},
+      {"online", "Problems 1-2 heuristic (incremental session: insert, "
+       "rip-up, delta repair)",
+       "O(M * T) per insert, O(W) repair window", {.supports_k = true},
+       &route_online},
+      {"delta", "Problems 1-2 incremental reference (canonical greedy, "
+       "DP fallback)",
+       "O(M * T) greedy; DP on fallback",
+       {.exact = true, .supports_k = true}, &route_delta},
       {"express", "Problems 1-2 heuristic (express-lane circuit switching)",
        "O(M * T)", {.supports_k = true}, &route_express},
       {"partial", "Problems 1-2 best-effort (maximal greedy subset)",

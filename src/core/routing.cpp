@@ -32,20 +32,20 @@ void Occupancy::reset() {
 }
 
 void Occupancy::rebind(const SegmentedChannel& ch) {
-  bool same_shape = occ_.size() == static_cast<std::size_t>(ch.num_tracks());
-  for (TrackId t = 0; same_shape && t < ch.num_tracks(); ++t) {
-    same_shape = occ_[static_cast<std::size_t>(t)].size() ==
-                 static_cast<std::size_t>(ch.track(t).num_segments());
-  }
+  // Per-row incremental: a row whose segment count already matches is
+  // cleared in place, so a single-track edit (the delta layer's common
+  // case) reallocates only the row it changed instead of rebuilding the
+  // whole workspace.
   ch_ = &ch;
-  if (same_shape) {
-    reset();
-    return;
-  }
   occ_.resize(static_cast<std::size_t>(ch.num_tracks()));
   for (TrackId t = 0; t < ch.num_tracks(); ++t) {
-    occ_[static_cast<std::size_t>(t)].assign(
-        static_cast<std::size_t>(ch.track(t).num_segments()), kNoConn);
+    auto& row = occ_[static_cast<std::size_t>(t)];
+    const auto want = static_cast<std::size_t>(ch.track(t).num_segments());
+    if (row.size() == want) {
+      std::fill(row.begin(), row.end(), kNoConn);
+    } else {
+      row.assign(want, kNoConn);
+    }
   }
 }
 

@@ -73,10 +73,11 @@ class Occupancy {
   /// workspace instead of constructing a fresh Occupancy per attempt.
   void reset();
 
-  /// Points the workspace at `ch` and clears it. When `ch` has the same
-  /// per-track segment counts as the current channel the rows are reused
-  /// in place (the steady-state, allocation-free path of the engine's
-  /// per-thread scratch); otherwise they are rebuilt.
+  /// Points the workspace at `ch` and clears it. Per-row incremental:
+  /// each row whose segment count already matches `ch` is reused in
+  /// place (the steady-state, allocation-free path of the engine's
+  /// per-thread scratch), and only mismatched rows are rebuilt — so an
+  /// edit that resegments one track touches one row.
   void rebind(const SegmentedChannel& ch);
 
   /// True if connection span [lo, hi] can be placed on track t without

@@ -185,6 +185,31 @@ struct BatchOptions {
   std::optional<std::chrono::milliseconds> deadline;
 };
 
+/// Receipt from BatchRouter::rebind_delta(): the structural diff between
+/// the old and new substrate and what happened to the old substrate's
+/// memo entries.
+struct RebindDelta {
+  std::uint64_t old_fingerprint = 0;
+  std::uint64_t new_fingerprint = 0;
+
+  /// True when the substrates are not migration-comparable — different
+  /// track count or width, or a changed identical-segmentation type
+  /// partition (which can shift a canonicalizing router's tie-breaks
+  /// even far from the edit). The rebind then behaved exactly like
+  /// rebind(): entries stay cached under their old fingerprint.
+  bool structural = false;
+
+  /// The affected-column mask: interval hull of every segment adjacent
+  /// to a changed switch, over the old AND new extents ([0, -1] = no
+  /// structural difference). Cached results whose connection spans are
+  /// disjoint from it are valid verbatim on the new substrate.
+  Column affected_lo = 0;
+  Column affected_hi = -1;
+
+  std::size_t migrated = 0;  // entries re-keyed to the new fingerprint
+  std::size_t evicted = 0;   // entries overlapping the mask, invalidated
+};
+
 class BatchRouter {
  public:
   /// Builds the shared index once. The channel must outlive the router.
@@ -221,6 +246,21 @@ class BatchRouter {
   /// substrate re-hits its entries. Not thread-safe against concurrent
   /// route()/route_many() calls — quiesce the engine first.
   void rebind(const SegmentedChannel& ch);
+
+  /// Delta-aware rebind: re-points the engine at `ch` like rebind(), but
+  /// instead of stranding the old substrate's memo entries under a dead
+  /// fingerprint, *migrates* the ones an edit provably did not touch.
+  /// The structural diff of the two channels yields an affected-column
+  /// mask (segments adjacent to changed switches, old and new extents);
+  /// when the substrates are migration-comparable (same track count,
+  /// width and type partition), entries whose connection spans are
+  /// disjoint from the mask are re-keyed to the new fingerprint — every
+  /// segment such a result can see is bit-identical in both channels,
+  /// so the cached answer is the new substrate's answer — and entries
+  /// overlapping the mask are evicted (counted as invalidations).
+  /// Incomparable substrates degrade to plain rebind() semantics.
+  /// Like rebind(): not thread-safe against concurrent routes.
+  RebindDelta rebind_delta(const SegmentedChannel& ch);
 
   /// Evicts exactly the cache entries computed on the substrate with this
   /// fingerprint, leaving every other substrate's entries hot.
@@ -291,6 +331,10 @@ class BatchRouter {
     z ^= z >> 31;
     return *shards_[z % shards_.size()];
   }
+
+  /// The cache hash as a pure function of the key fields — make_key()
+  /// and rebind_delta()'s re-keying must agree bit for bit.
+  static std::uint64_t key_hash(const CacheKey& key);
 
   CacheKey make_key(const ConnectionSet& cs,
                     const EngineRouteOptions& opts) const;

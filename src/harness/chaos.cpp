@@ -1,10 +1,13 @@
 #include "harness/chaos.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <random>
 #include <utility>
 
+#include "alg/delta.h"
+#include "alg/online.h"
 #include "alg/partial.h"
 #include "alg/result.h"
 #include "harness/fault.h"
@@ -87,6 +90,17 @@ ChaosReport run_chaos(const SegmentedChannel& ch, const ConnectionSet& cs,
 
   std::mt19937_64 master(opts.seed);
   const int period = std::max(1, opts.escalation_period);
+
+  // Edit stream (edits_per_cycle > 0): a live OnlineRouter session on
+  // the base channel, driven by per-cycle RNGs derived from the storm
+  // seed — NOT by extra draws from `master`, which would shift every
+  // subsequent storm and break the pinned default digests.
+  std::unique_ptr<alg::OnlineRouter> session;
+  std::vector<ConnId> session_ids;  // live ids, for remove/move targets
+  if (opts.edits_per_cycle > 0) {
+    session = std::make_unique<alg::OnlineRouter>(
+        ch, alg::OnlineRouter::Policy::BestFit, opts.max_segments);
+  }
 
   std::uint64_t digest = kFnvOffset;
   const auto mix = [&](std::uint64_t v) {
@@ -206,6 +220,89 @@ ChaosReport run_chaos(const SegmentedChannel& ch, const ConnectionSet& cs,
     // substrate's memo entries; the base entries stay hot.
     if (deg_fp != base_fp) engine.invalidate(deg_fp);
 
+    // Edit phase: interleave seeded ChannelEdits with the fault storms.
+    // The session lives on the base channel across the whole soak, so
+    // every cycle exercises the delta API against a state the previous
+    // storms' edits produced. Digest folding is gated on the option so
+    // edits_per_cycle == 0 reproduces the legacy digests bit for bit.
+    if (session) {
+      SEGROUTE_SPAN(edit_span, "chaos.edits", "cycle", i);
+      std::mt19937_64 erng(rec.storm_seed ^ 0x9e3779b97f4a7c15ull);
+      const Column width = ch.width();
+      // Bound session growth so late cycles still mix add/remove/move
+      // instead of drowning in kInfeasible adds on a saturated channel.
+      const std::size_t cap =
+          static_cast<std::size_t>(ch.num_tracks()) * 3 + 4;
+      const auto rand_span = [&]() -> std::pair<Column, Column> {
+        const Column left =
+            1 + static_cast<Column>(erng() %
+                                    static_cast<std::uint64_t>(width));
+        const Column len = 1 + static_cast<Column>(
+            erng() % static_cast<std::uint64_t>(
+                         std::max<Column>(1, width / 4)));
+        return {left, std::min<Column>(width, left + len - 1)};
+      };
+      for (int k = 0; k < opts.edits_per_cycle; ++k) {
+        std::uint64_t pick = erng() % 3;
+        if (session_ids.empty()) pick = 0;
+        if (pick == 0 && session_ids.size() >= cap) pick = 1;
+        alg::ChannelEdit edit;
+        if (pick == 0) {
+          const auto [l, r] = rand_span();
+          edit = alg::ChannelEdit::add(l, r);
+        } else {
+          const ConnId target = session_ids[erng() % session_ids.size()];
+          if (pick == 1) {
+            edit = alg::ChannelEdit::remove(target);
+          } else {
+            const auto [l, r] = rand_span();
+            edit = alg::ChannelEdit::move(target, l, r);
+          }
+        }
+        const alg::RepairOutcome out = session->apply(edit);
+        ++rec.edits;
+        ++report.edits;
+        if (!out.success) {
+          ++report.edits_rejected;  // e.g. kInfeasible add on a full span
+        } else if (out.path == alg::RepairOutcome::Path::kRepair) {
+          ++rec.edit_repairs;
+          ++report.edit_repairs;
+        } else {
+          ++report.edit_dp_fallbacks;
+        }
+        if (out.success && edit.kind == alg::ChannelEdit::Kind::kAdd) {
+          session_ids.push_back(out.id);
+        } else if (out.success &&
+                   edit.kind == alg::ChannelEdit::Kind::kRemove) {
+          session_ids.erase(std::find(session_ids.begin(),
+                                      session_ids.end(), edit.id));
+        }
+        mix((out.success ? 1ull : 0ull) |
+            (static_cast<std::uint64_t>(out.path) << 1) |
+            (static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(out.id)) << 8));
+        mix(static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(out.affected_lo)) |
+            (static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(out.affected_hi)) << 32));
+      }
+      // Bit-identity gate: after every cycle's edits the session must
+      // equal canonical(S) computed from scratch — the same contract
+      // the randomized edit-script suite enforces, here under churn.
+      const auto [ecs, er] = session->snapshot();
+      const alg::CanonicalResult ref =
+          alg::from_scratch(ch, ecs, /*policy_best_fit=*/true,
+                            opts.max_segments);
+      if (!ref.result.success || !(ref.result.routing == er)) {
+        ++report.edit_mismatches;
+      }
+      mix(static_cast<std::uint64_t>(ecs.size()));
+      for (ConnId c = 0; c < ecs.size(); ++c) {
+        mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(er.track_of(c)) + 1));
+      }
+    }
+
     mix_cycle(rec);
     report.history.push_back(rec);
   }
@@ -221,12 +318,19 @@ ChaosReport run_chaos(const SegmentedChannel& ch, const ConnectionSet& cs,
   report.digest = digest;
   report.cache = engine.cache_stats();
   report.checkpoints = ckpts.stats();
-  report.ok = report.verify_failures == 0 && report.restore_mismatches == 0;
+  report.ok = report.verify_failures == 0 &&
+              report.restore_mismatches == 0 && report.edit_mismatches == 0;
   report.note = "cycles=" + std::to_string(opts.cycles) +
                 " reroutes=" + std::to_string(report.reroutes) +
                 " partials=" + std::to_string(report.partials) +
                 " rollbacks=" + std::to_string(report.rollbacks) +
                 " outages=" + std::to_string(report.outages);
+  if (opts.edits_per_cycle > 0) {
+    report.note += " edits=" + std::to_string(report.edits) +
+                   " repairs=" + std::to_string(report.edit_repairs) +
+                   " dp=" + std::to_string(report.edit_dp_fallbacks) +
+                   " rejected=" + std::to_string(report.edits_rejected);
+  }
   SEGROUTE_SPAN_TAG(run_span, "outcome", report.ok ? "ok" : "failed");
   return report;
 }

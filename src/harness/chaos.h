@@ -76,6 +76,16 @@ struct ChaosOptions {
 
   /// Engine memo-cache capacity.
   std::size_t cache_capacity = 256;
+
+  /// Interleave this many seeded ChannelEdits (add/remove/move through
+  /// OnlineRouter::apply) into every cycle, run against the base channel
+  /// between the storm and the recover check. Each cycle the edit
+  /// session's snapshot is diffed bit-for-bit against
+  /// alg::from_scratch() (edit_mismatches counts violations) and the
+  /// session routing is folded into the digest. 0 (the default)
+  /// disables the edit stream entirely and reproduces the pre-edit
+  /// digests exactly.
+  int edits_per_cycle = 0;
 };
 
 /// What one cycle did (everything deterministic; digested).
@@ -90,6 +100,8 @@ struct ChaosCycle {
   bool partial = false;      // partial fallback produced a verified subset
   bool rolled_back = false;  // live routing rolled back to base checkpoint
   int routed = 0;            // connections routed in the degrade phase
+  int edits = 0;             // edits applied this cycle (edits_per_cycle > 0)
+  int edit_repairs = 0;      // ... of which the localized repair handled
 };
 
 struct ChaosReport {
@@ -103,6 +115,13 @@ struct ChaosReport {
   int outages = 0;
   int restore_mismatches = 0;  // recover phase disagreed with checkpoint
   int verify_failures = 0;     // any phase produced an unverifiable routing
+
+  // Edit-stream summary (all zero when edits_per_cycle == 0).
+  int edits = 0;             // ChannelEdits applied across all cycles
+  int edit_repairs = 0;      // ... handled by the localized repair path
+  int edit_dp_fallbacks = 0; // ... that needed the full-DP fallback
+  int edits_rejected = 0;    // ... rejected (infeasible edit; state kept)
+  int edit_mismatches = 0;   // session snapshot != from_scratch reference
   std::uint64_t digest = 0;    // FNV-1a over cycle outcomes + live routing
   engine::CacheStats cache;    // counters only; excluded from the digest
   CheckpointStats checkpoints;

@@ -11,7 +11,8 @@ CheckpointStore::CheckpointStore(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 void CheckpointStore::save(std::uint64_t fingerprint, const Routing& routing,
-                           std::optional<double> weight, std::string source) {
+                           std::optional<double> weight, std::string source,
+                           std::vector<std::pair<Column, Column>> conns) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = by_fp_.find(fingerprint);
   if (it != by_fp_.end()) {
@@ -27,6 +28,7 @@ void CheckpointStore::save(std::uint64_t fingerprint, const Routing& routing,
     old.weight = weight.value_or(0.0);
     old.has_weight = weight.has_value();
     old.source = std::move(source);
+    old.conns = std::move(conns);
     old.sequence = next_sequence_++;
     ++stats_.saves;
     ++stats_.supersedes;
@@ -40,6 +42,7 @@ void CheckpointStore::save(std::uint64_t fingerprint, const Routing& routing,
   ckpt.weight = weight.value_or(0.0);
   ckpt.has_weight = weight.has_value();
   ckpt.source = std::move(source);
+  ckpt.conns = std::move(conns);
   ckpt.sequence = next_sequence_++;
   entries_.push_front(std::move(ckpt));
   by_fp_.emplace(fingerprint, entries_.begin());

@@ -35,6 +35,8 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/channel.h"
 #include "core/connection.h"
@@ -52,6 +54,13 @@ struct RoutingCheckpoint {
   bool has_weight = false;
   std::string source;       // who saved it (router / winner name)
   std::uint64_t sequence = 0;  // per-store save order (monotonic)
+
+  /// Spans of the connection set `routing` was verified for, in id
+  /// order (empty when the saver did not record them). What lets a
+  /// later call with an *edited* connection set align itself against
+  /// the checkpoint and repair just the difference instead of
+  /// discovering the mismatch through a failed re-verification.
+  std::vector<std::pair<Column, Column>> conns;
 };
 
 /// Store observability counters (a snapshot).
@@ -75,9 +84,13 @@ class CheckpointStore {
 
   /// Saves `routing` for `fingerprint`, keeping the better of old and
   /// new: lower weight when both carry one, the newcomer otherwise.
+  /// `conns`, when given, records the routed connection spans in id
+  /// order so a later caller can align an edited set against the
+  /// checkpoint (the robust_route repair pre-stage).
   void save(std::uint64_t fingerprint, const Routing& routing,
             std::optional<double> weight = std::nullopt,
-            std::string source = {});
+            std::string source = {},
+            std::vector<std::pair<Column, Column>> conns = {});
 
   /// The checkpoint for `fingerprint` (a copy), without verification.
   [[nodiscard]] std::optional<RoutingCheckpoint> find(

@@ -83,6 +83,31 @@ std::uint64_t fold_digest(std::uint64_t acc, const SvcResponse& r) {
   acc = fold_u64(acc, r.enqueue_tick);
   acc = fold_u64(acc, r.start_tick);
   acc = fold_u64(acc, r.finish_tick);
+  // Session fields enter the digest only for session responses, so the
+  // digest of a pure-batch run (the committed bench baselines) is
+  // byte-identical to what it was before edit sessions existed.
+  if (r.session != 0) {
+    acc = fold_u64(acc, r.session);
+    acc = fold_u64(acc, r.repair.success ? 1 : 0);
+    acc = fold_u64(acc, static_cast<std::uint64_t>(r.repair.path));
+    acc = fold_u64(acc, static_cast<std::uint64_t>(r.repair.failure));
+    acc = fold_u64(acc, static_cast<std::uint64_t>(
+                            static_cast<std::uint32_t>(r.repair.id)));
+    acc = fold_u64(
+        acc,
+        static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(r.repair.affected_lo)) |
+            (static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(r.repair.affected_hi))
+             << 32));
+    acc = fold_u64(
+        acc,
+        static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(r.repair.reconsidered)) |
+            (static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(r.repair.moved))
+             << 32));
+  }
   return acc;
 }
 
@@ -134,7 +159,13 @@ std::future<SvcResponse> RoutingService::submit(SvcRequest req) {
     job.t_enqueue = Clock::now();
     ++stats_.submitted;
     const std::size_t cap = opts_.max_inflight_per_tenant;
-    if (job.req.tenant.empty()) {
+    bool session_ok = true;
+    if (job.req.session != 0) {
+      const auto sit = sessions_.find(job.req.session);
+      session_ok =
+          sit != sessions_.end() && sit->second.tenant == job.req.tenant;
+    }
+    if (job.req.tenant.empty() || !session_ok) {
       admit = Admit::kInvalid;
       ++stats_.rejected_invalid;
     } else if (stopping_) {
@@ -225,8 +256,12 @@ void RoutingService::route_window(std::vector<Job>& window, std::uint64_t now) {
   // service.h: the barrier freezes the memo cache for the budgeted phase,
   // so hit/miss outcomes cannot depend on worker scheduling.
   std::vector<engine::EngineRouteOptions> opts(window.size());
-  std::vector<std::size_t> pure_ix, budgeted_ix;
+  std::vector<std::size_t> pure_ix, budgeted_ix, edit_ix;
   for (std::size_t i = 0; i < window.size(); ++i) {
+    if (window[i].req.session != 0) {
+      edit_ix.push_back(i);  // session edits run in the serial phase
+      continue;
+    }
     opts[i] = window[i].req.options;
     opts[i].budget = effective_budget(window[i].req);
     opts[i].allow_cached_when_budgeted = opts_.serve_cached_under_budget;
@@ -257,6 +292,105 @@ void RoutingService::route_window(std::vector<Job>& window, std::uint64_t now) {
   };
   run_phase(pure_ix);
   run_phase(budgeted_ix);
+  // Serial edit phase: session edits apply in window (= FIFO drain)
+  // order on the dispatching thread, after both routing phases. Session
+  // state is therefore a pure function of the submission sequence —
+  // worker count never enters an edit outcome.
+  for (const std::size_t i : edit_ix) apply_edit(window[i], now);
+}
+
+void RoutingService::apply_edit(Job& job, std::uint64_t now) {
+  SEGROUTE_SPAN(span, "svc.edit");
+  const auto t0 = Clock::now();
+  SvcResponse resp;
+  resp.id = job.id;
+  resp.tenant = job.req.tenant;
+  resp.admit = Admit::kAccepted;
+  resp.session = job.req.session;
+  resp.enqueue_tick = job.enqueue_tick;
+  resp.start_tick = resp.finish_tick = now;
+  alg::OnlineRouter* router = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    const auto it = sessions_.find(job.req.session);
+    if (it != sessions_.end()) router = it->second.router.get();
+  }
+  if (router == nullptr) {
+    // The session was closed between admission and drain.
+    resp.repair.failure = alg::FailureKind::kInvalidInput;
+    resp.result.fail(alg::FailureKind::kInvalidInput,
+                     "svc session: closed before the edit was drained");
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    ++stats_.session_edit_failures;
+  } else {
+    // The tenant's budget slice bounds the edit's DP fallback: a
+    // pathological edit costs one bounded DP attempt, then rolls back.
+    resp.repair = router->apply(job.req.edit, effective_budget(job.req));
+    resp.fingerprint = router->index().fingerprint();
+    if (resp.repair.success) {
+      resp.result.success = true;
+      resp.result.note =
+          std::string("svc session edit: ") + alg::to_string(resp.repair.path);
+    } else {
+      resp.result.fail(resp.repair.failure,
+                       "svc session edit rejected: " + resp.repair.note);
+    }
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    if (!resp.repair.success) {
+      ++stats_.session_edit_failures;
+    } else {
+      ++stats_.session_edits;
+      if (resp.repair.path == alg::RepairOutcome::Path::kRepair) {
+        ++stats_.session_repairs;
+      } else {
+        ++stats_.session_dp_fallbacks;
+      }
+    }
+  }
+  resp.queue_ms =
+      std::chrono::duration<double, std::milli>(t0 - job.t_enqueue).count();
+  resp.service_ms = ms_since(t0);
+  finish_job(job, std::move(resp));
+}
+
+std::uint64_t RoutingService::open_session(const std::string& tenant,
+                                           int max_segments) {
+  if (tenant.empty()) return 0;
+  // The dispatch lock pins the substrate while the session copies it (a
+  // concurrent rebind() would race the read).
+  std::lock_guard<std::mutex> dl(dispatch_mu_);
+  auto router = std::make_unique<alg::OnlineRouter>(
+      engine_.index().channel(), alg::OnlineRouter::Policy::BestFit,
+      max_segments);
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  if (stopping_) return 0;
+  const std::uint64_t id = next_session_++;
+  sessions_.emplace(id, Session{tenant, std::move(router)});
+  ++stats_.sessions_opened;
+  return id;
+}
+
+bool RoutingService::close_session(std::uint64_t session) {
+  std::lock_guard<std::mutex> dl(dispatch_mu_);  // quiesce in-flight edits
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return false;
+  sessions_.erase(it);
+  ++stats_.sessions_closed;
+  return true;
+}
+
+std::optional<std::pair<ConnectionSet, Routing>>
+RoutingService::session_snapshot(std::uint64_t session) {
+  std::lock_guard<std::mutex> dl(dispatch_mu_);  // quiesce in-flight edits
+  alg::OnlineRouter* router = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    const auto it = sessions_.find(session);
+    if (it != sessions_.end()) router = it->second.router.get();
+  }
+  if (router == nullptr) return std::nullopt;
+  return router->snapshot();
 }
 
 std::size_t RoutingService::tick() {
@@ -323,6 +457,8 @@ void RoutingService::stop(StopMode mode) {
   }
   publish_metrics();
   std::lock_guard<std::mutex> lk(queue_mu_);
+  stats_.sessions_closed += sessions_.size();  // implicit close on stop
+  sessions_.clear();
   stopped_ = true;
 }
 
@@ -342,17 +478,35 @@ SvcStats RoutingService::stats() const {
   std::lock_guard<std::mutex> lk(queue_mu_);
   SvcStats s = stats_;
   s.queue_depth = queue_.size();
+  s.sessions_open = sessions_.size();
   return s;
 }
 
 void RoutingService::publish_metrics() {
   std::size_t depth;
+  SvcStats snap;
   {
     std::lock_guard<std::mutex> lk(queue_mu_);
     depth = queue_.size();
+    snap = stats_;
+    snap.sessions_open = sessions_.size();
   }
   queue_depth_g_.set(static_cast<double>(depth));
   obs::Registry& reg = obs::Registry::instance();
+  reg.gauge("svc.sessions.open")
+      .set(static_cast<double>(snap.sessions_open));
+  reg.gauge("svc.sessions.opened")
+      .set(static_cast<double>(snap.sessions_opened));
+  reg.gauge("svc.sessions.closed")
+      .set(static_cast<double>(snap.sessions_closed));
+  reg.gauge("svc.sessions.edits")
+      .set(static_cast<double>(snap.session_edits));
+  reg.gauge("svc.sessions.repairs")
+      .set(static_cast<double>(snap.session_repairs));
+  reg.gauge("svc.sessions.dp_fallbacks")
+      .set(static_cast<double>(snap.session_dp_fallbacks));
+  reg.gauge("svc.sessions.edit_failures")
+      .set(static_cast<double>(snap.session_edit_failures));
   const engine::CacheStats total = engine_.cache_stats();
   cache_size_g_.set(static_cast<double>(total.size));
   reg.gauge("svc.cache.capacity").set(static_cast<double>(total.capacity));

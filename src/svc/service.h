@@ -60,6 +60,19 @@
 // invalidate(fp) forwards to the engine's fingerprint-delta-aware
 // eviction and is safe at any time.
 //
+// Edit sessions. open_session() creates a stateful incremental routing
+// (an alg::OnlineRouter on the substrate current at open time — a
+// session *pins* its channel; a later rebind() affects batch requests
+// only). A submission with `session` set is a delta edit: it rides the
+// same admission control (tenant caps, queue bounds, budget slices —
+// the slice bounds the DP fallback) and resolves to a SvcResponse
+// carrying the proof-carrying RepairOutcome. Edits are applied
+// *serially in window order* after the two routing phases of each tick,
+// so session state is a pure function of the submission sequence and
+// the driver-mode digest stays bit-identical across thread counts.
+// Session fields fold into response digests only for session responses,
+// leaving pure-batch digests (the committed bench baselines) unchanged.
+//
 // Metrics. The service publishes its own state — queue depth, accepted/
 // rejected/served counts, per-tenant served counters, latency
 // histograms, and the engine's per-shard cache health — directly into
@@ -76,14 +89,19 @@
 #include <deque>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "alg/delta.h"
+#include "alg/online.h"
 #include "alg/result.h"
 #include "core/connection.h"
+#include "core/routing.h"
 #include "engine/batch.h"
 #include "harness/budget.h"
 #include "obs/metrics.h"
@@ -151,6 +169,15 @@ struct SvcRequest {
   std::string tenant;
   ConnectionSet connections;
   engine::EngineRouteOptions options;
+
+  /// Edit-session id from open_session(), or 0 for a plain batch
+  /// request. When set, `edit` is applied to that session (serially, in
+  /// window order) instead of routing `connections`; the effective
+  /// budget slice bounds the edit's DP fallback. A session id that is
+  /// unknown or owned by a different tenant is rejected with
+  /// Admit::kInvalid.
+  std::uint64_t session = 0;
+  alg::ChannelEdit edit;
 };
 
 /// The response: the routing outcome plus admission and queue/SLO
@@ -164,6 +191,12 @@ struct SvcResponse {
 
   /// Substrate the request was routed on (0 for rejected requests).
   std::uint64_t fingerprint = 0;
+
+  /// Session identity + the delta receipt, for session-edit responses
+  /// (session == 0 for batch responses; both fields fold into the
+  /// digest only when session != 0, so batch digests are unchanged).
+  std::uint64_t session = 0;
+  alg::RepairOutcome repair;
 
   std::uint64_t enqueue_tick = 0;
   std::uint64_t start_tick = 0;   // tick that drained the request
@@ -197,6 +230,15 @@ struct SvcStats {
   std::uint64_t served = 0;
   std::uint64_t ticks = 0;
   std::size_t queue_depth = 0;
+
+  // Edit-session counters.
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
+  std::size_t sessions_open = 0;
+  std::uint64_t session_edits = 0;         // edits applied (success)
+  std::uint64_t session_repairs = 0;       // ... via the localized repair
+  std::uint64_t session_dp_fallbacks = 0;  // ... via the full-DP fallback
+  std::uint64_t session_edit_failures = 0; // rejected edits (state kept)
 };
 
 class RoutingService {
@@ -243,6 +285,25 @@ class RoutingService {
   /// Fingerprint-delta-aware cache eviction; safe at any time.
   void invalidate(std::uint64_t fingerprint);
 
+  /// Opens an edit session for `tenant` on the *current* substrate (a
+  /// session pins its channel; later rebind()s affect batch requests
+  /// only). Returns the session id to pass in SvcRequest::session, or 0
+  /// when rejected (empty tenant, or the service is stopping).
+  /// `max_segments` is the session's K-segment limit (0 = unlimited).
+  std::uint64_t open_session(const std::string& tenant, int max_segments = 0);
+
+  /// Closes a session, quiescing routing first so no in-flight edit
+  /// references it. Edits still queued for it resolve as failed with
+  /// kInvalidInput. Returns false for unknown ids. All sessions are
+  /// closed implicitly by stop().
+  bool close_session(std::uint64_t session);
+
+  /// Snapshot of a session's live state (connections in id order +
+  /// canonical routing), or nullopt for unknown ids. Quiesces routing
+  /// for the copy; the tests' bit-identity gate reads through this.
+  [[nodiscard]] std::optional<std::pair<ConnectionSet, Routing>>
+  session_snapshot(std::uint64_t session);
+
   [[nodiscard]] SvcStats stats() const;
   [[nodiscard]] const SvcOptions& options() const { return opts_; }
   [[nodiscard]] engine::BatchRouter& engine() { return engine_; }
@@ -263,8 +324,16 @@ class RoutingService {
     std::chrono::steady_clock::time_point t_enqueue;
   };
 
+  /// One open edit session. The OnlineRouter is pinned to its address
+  /// (its ChannelIndex borrows the owned channel), hence the unique_ptr.
+  struct Session {
+    std::string tenant;
+    std::unique_ptr<alg::OnlineRouter> router;
+  };
+
   [[nodiscard]] harness::Budget effective_budget(const SvcRequest& req) const;
   void route_window(std::vector<Job>& window, std::uint64_t now);
+  void apply_edit(Job& job, std::uint64_t now);
   void reject(Job job, Admit why);
   void finish_job(Job& job, SvcResponse resp);
   obs::Counter& tenant_counter(const std::string& tenant);
@@ -284,6 +353,13 @@ class RoutingService {
   bool stopping_ = false;    // admission closed
   bool dispatcher_exit_ = false;
   SvcStats stats_;
+
+  // Edit sessions. The *map* is guarded by queue_mu_ (submit() checks
+  // session existence during admission); the routers themselves are
+  // touched only under dispatch_mu_ (the serial edit phase of
+  // route_window, and close/snapshot which quiesce first).
+  std::map<std::uint64_t, Session> sessions_;
+  std::uint64_t next_session_ = 1;
 
   // Dispatch state (dispatch_mu_): held while a window routes and while
   // rebind() swaps the substrate.

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <random>
+#include <vector>
 
 #include "alg/dp.h"
 #include "gen/segmentation.h"
@@ -153,6 +155,75 @@ TEST(OnlineRouter, RandomizedSessionsStayValid) {
       ASSERT_TRUE(validate(r.channel(), cs, routing))
           << "iter " << iter << " step " << step;
       ASSERT_EQ(cs.size(), static_cast<ConnId>(placed.size()));
+    }
+  }
+}
+
+TEST(OnlineRouter, IdsStayStableAcrossRemovalsFuzz) {
+  // Long mixed sessions over both API generations: connection ids must
+  // never move or be reused while live, dead ids must stay dead, and
+  // last_failure() must read kNone after every successful mutation.
+  std::mt19937_64 rng(4099);
+  for (int iter = 0; iter < 10; ++iter) {
+    OnlineRouter r(gen::staggered_segmentation(4, 24, 6));
+    std::map<ConnId, std::pair<Column, Column>> live;  // id -> span
+    std::vector<ConnId> dead;
+    const auto rand_span = [&]() -> std::pair<Column, Column> {
+      const Column l = 1 + static_cast<Column>(rng() % 24);
+      const Column len = 1 + static_cast<Column>(rng() % 6);
+      return {l, std::min<Column>(24, l + len - 1)};
+    };
+    const auto pick_live = [&]() -> ConnId {
+      auto it = live.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng() % live.size()));
+      return it->first;
+    };
+    for (int step = 0; step < 120; ++step) {
+      std::uint64_t op = rng() % 5;
+      if (live.empty()) op = 0;
+      if (op == 0 || op == 1) {
+        const auto [l, rt] = rand_span();
+        const auto id = op == 0 ? r.insert(l, rt) : r.insert_with_ripup(l, rt);
+        if (id) {
+          ASSERT_EQ(live.count(*id), 0u) << "live id reused";
+          live[*id] = {l, rt};
+          EXPECT_EQ(r.last_failure(), FailureKind::kNone);
+        }
+      } else if (op == 2) {
+        const ConnId id = pick_live();
+        ASSERT_TRUE(r.remove(id));
+        EXPECT_EQ(r.last_failure(), FailureKind::kNone);
+        live.erase(id);
+        dead.push_back(id);
+      } else if (op == 3) {
+        const auto [l, rt] = rand_span();
+        const ConnId id = pick_live();
+        const RepairOutcome out = r.apply(ChannelEdit::move(id, l, rt));
+        if (out.success) {
+          live[id] = {l, rt};
+          EXPECT_EQ(r.last_failure(), FailureKind::kNone);
+        }
+      } else {
+        const auto [l, rt] = rand_span();
+        const RepairOutcome out = r.apply(ChannelEdit::add(l, rt));
+        if (out.success) {
+          ASSERT_EQ(live.count(out.id), 0u) << "live id reused";
+          live[out.id] = {l, rt};
+          EXPECT_EQ(r.last_failure(), FailureKind::kNone);
+        }
+      }
+      // Id stability: every live id still carries its recorded span;
+      // every dead id is still dead (ids are never recycled).
+      for (const auto& [id, span] : live) {
+        ASSERT_TRUE(r.is_placed(id)) << "iter " << iter << " step " << step;
+        EXPECT_EQ(r.connection(id).left, span.first);
+        EXPECT_EQ(r.connection(id).right, span.second);
+      }
+      for (const ConnId id : dead) {
+        EXPECT_FALSE(r.is_placed(id));
+        EXPECT_EQ(r.track_of(id), kNoTrack);
+      }
+      ASSERT_EQ(r.num_placed(), static_cast<int>(live.size()));
     }
   }
 }

@@ -464,6 +464,149 @@ TEST(ChaosSoak, BitIdenticalAcrossThreadCountsAndDistinctAcrossSeeds) {
   EXPECT_EQ(rerun.digest, reports[0].digest);
 }
 
+// Edits interleaved with fault storms: the OnlineRouter edit stream
+// stays bit-identical to from_scratch() every cycle (edit_mismatches ==
+// 0 feeds report.ok), folds into the digest deterministically across
+// thread counts, and is carried mostly by the localized repair path.
+TEST(ChaosSoak, EditStreamInterleavesDeterministically) {
+  std::mt19937_64 rng(23);
+  const auto ch = gen::staggered_segmentation(6, 24, 6);
+  const auto cs = gen::routable_workload(ch, 10, 5.0, rng);
+  ASSERT_GT(cs.size(), 0);
+
+  ChaosOptions o;
+  o.seed = 777;
+  o.cycles = 60;
+  o.edits_per_cycle = 3;
+
+  ChaosReport reports[3];
+  const int threads[3] = {1, 2, 8};
+  for (int k = 0; k < 3; ++k) {
+    ChaosOptions ok = o;
+    ok.threads = threads[k];
+    reports[k] = run_chaos(ch, cs, ok);
+    ASSERT_TRUE(reports[k].ok) << "threads=" << threads[k] << ": "
+                               << reports[k].note;
+    EXPECT_EQ(reports[k].edit_mismatches, 0);
+    EXPECT_EQ(reports[k].edits, o.cycles * o.edits_per_cycle);
+  }
+  EXPECT_EQ(reports[0].digest, reports[1].digest);
+  EXPECT_EQ(reports[0].digest, reports[2].digest);
+  EXPECT_EQ(reports[0].edit_repairs, reports[2].edit_repairs);
+  EXPECT_EQ(reports[0].edit_dp_fallbacks, reports[1].edit_dp_fallbacks);
+
+  // The stream did real work, and repair (not full DP) carried it.
+  EXPECT_GT(reports[0].edit_repairs, 0);
+  EXPECT_GT(reports[0].edit_repairs, reports[0].edit_dp_fallbacks);
+
+  // The edit stream is part of the digest: turning it off (the legacy
+  // configuration) yields a different digest over the same storms.
+  ChaosOptions off = o;
+  off.edits_per_cycle = 0;
+  const auto legacy = run_chaos(ch, cs, off);
+  ASSERT_TRUE(legacy.ok) << legacy.note;
+  EXPECT_NE(legacy.digest, reports[0].digest);
+  // ... and the off-configuration reports no edit activity at all (the
+  // default digests CI pins are computed on this path).
+  EXPECT_EQ(legacy.edits, 0);
+  EXPECT_EQ(legacy.edit_repairs, 0);
+  EXPECT_EQ(legacy.edits_rejected, 0);
+  for (const ChaosCycle& c : legacy.history) {
+    EXPECT_EQ(c.edits, 0);
+  }
+}
+
+// --------------------------------------------- checkpoint repair pre-stage
+
+TEST(RobustCheckpoint, RepairsAnEditedWorkloadFromTheCheckpoint) {
+  Fixture f;
+  CheckpointStore store;
+  RobustOptions o;
+  o.checkpoints = &store;
+  const auto first = robust_route(f.ch, f.cs, o);
+  ASSERT_TRUE(first.success);
+
+  // Edit the middle connection: prefix (1,4) and suffix (2,6) align,
+  // only the changed span is re-placed.
+  ConnectionSet edited;
+  edited.add(1, 4);
+  edited.add(9, 12);  // was (8,12)
+  edited.add(2, 6);
+  const auto rep = robust_route(f.ch, edited, o);
+  ASSERT_TRUE(rep.success);
+  EXPECT_EQ(rep.winner, "repair");
+  EXPECT_TRUE(rep.stages.empty());  // no cascade stage ran
+  EXPECT_NE(rep.note.find("repaired from checkpoint"), std::string::npos);
+  EXPECT_NE(rep.note.find("kept 2"), std::string::npos);
+  EXPECT_NE(rep.note.find("re-placed 1"), std::string::npos);
+  EXPECT_TRUE(validate(f.ch, edited, rep.routing));
+  // Kept connections stayed on their checkpointed tracks.
+  EXPECT_EQ(rep.routing.track_of(0), first.routing.track_of(0));
+  EXPECT_EQ(rep.routing.track_of(2), first.routing.track_of(2));
+
+  // The repaired state superseded the checkpoint: repeating the edited
+  // workload is now an exact checkpoint hit.
+  const auto again = robust_route(f.ch, edited, o);
+  ASSERT_TRUE(again.success);
+  EXPECT_EQ(again.winner, "checkpoint");
+  EXPECT_TRUE(again.routing == rep.routing);
+}
+
+TEST(RobustCheckpoint, RepairHandlesGrowthAndShrinkage) {
+  Fixture f;
+  CheckpointStore store;
+  RobustOptions o;
+  o.checkpoints = &store;
+  ASSERT_TRUE(robust_route(f.ch, f.cs, o).success);
+
+  // Append one connection (pure growth: the whole old set is a prefix).
+  ConnectionSet grown = f.cs;
+  grown.add(7, 9);
+  const auto add = robust_route(f.ch, grown, o);
+  ASSERT_TRUE(add.success);
+  EXPECT_EQ(add.winner, "repair");
+  EXPECT_TRUE(validate(f.ch, grown, add.routing));
+
+  // Drop the middle connection (shrinkage aligns prefix + suffix).
+  ConnectionSet shrunk;
+  shrunk.add(1, 4);
+  shrunk.add(2, 6);
+  store.clear();
+  ASSERT_TRUE(robust_route(f.ch, f.cs, o).success);
+  const auto rm = robust_route(f.ch, shrunk, o);
+  ASSERT_TRUE(rm.success);
+  EXPECT_EQ(rm.winner, "repair");
+  EXPECT_NE(rm.note.find("re-placed 0"), std::string::npos);
+  EXPECT_TRUE(validate(f.ch, shrunk, rm.routing));
+}
+
+TEST(RobustCheckpoint, InfeasibleRepairFallsThroughToTheCascade) {
+  // Two tracks, one switch: the checkpointed pair occupies segment
+  // (1,5) on BOTH tracks, so the inserted middle connection cannot be
+  // repair-placed — and the edited instance is genuinely unroutable
+  // (three mutually overlapping connections, two tracks). The failed
+  // repair must fall through to the cascade, whose exact stage proves
+  // infeasibility instead of serving a broken repair.
+  const SegmentedChannel ch = SegmentedChannel::identical(2, 10, {5});
+  ConnectionSet cs;
+  cs.add(1, 4);
+  cs.add(2, 4);
+  CheckpointStore store;
+  RobustOptions o;
+  o.checkpoints = &store;
+  ASSERT_TRUE(robust_route(ch, cs, o).success);
+
+  ConnectionSet edited;
+  edited.add(1, 4);
+  edited.add(3, 5);  // the insertion: prefix (1,4), suffix (2,4) align
+  edited.add(2, 4);
+  const auto rep = robust_route(ch, edited, o);
+  EXPECT_FALSE(rep.success);
+  EXPECT_NE(rep.winner, "repair");
+  EXPECT_EQ(rep.failure, FailureKind::kInfeasible);
+  EXPECT_FALSE(rep.stages.empty());  // the cascade actually ran
+}
+
 TEST(ChaosSoak, UnroutableBaselineFailsFastAndStructured) {
   SegmentedChannel ch = SegmentedChannel::unsegmented(1, 10);
   ConnectionSet cs;

@@ -9,18 +9,22 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <future>
 #include <map>
+#include <mutex>
 #include <random>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "alg/delta.h"
 #include "core/channel_index.h"
 #include "core/routing.h"
+#include "core/track.h"
 #include "engine/batch.h"
 #include "gen/segmentation.h"
 #include "gen/workload.h"
@@ -482,6 +486,294 @@ TEST(SvcLiveEdit, RebindQuiescesLiveService) {
   // The alice instances are routable by construction on ch1; most should
   // succeed regardless of which substrate served them.
   EXPECT_GT(successes, 0);
+}
+
+TEST(SvcLiveEdit, DeltaRebindMigratesUnderRacingInvalidate) {
+  // Delta-aware substrate flips interleaved with route_many() traffic
+  // and a hostile invalidate() thread. rebind_delta() is documented not
+  // thread-safe against concurrent cache users, so a quiesce mutex
+  // serializes it against the editor — exactly the lock a live service
+  // holds — while results stay bit-identical to per-substrate uncached
+  // references and the disjoint workload keeps migrating (never cools).
+  const SegmentedChannel ch = gen::staggered_segmentation(4, 24, 6);
+  std::vector<Track> tracks = ch.tracks();
+  std::vector<Column> sw = tracks.back().switch_positions();
+  Column extra = 21;  // a fresh switch position near the right edge
+  while (std::find(sw.begin(), sw.end(), extra) != sw.end()) --extra;
+  sw.push_back(extra);
+  std::sort(sw.begin(), sw.end());
+  tracks.back() = Track(24, sw);
+  const SegmentedChannel ch2(tracks);
+
+  // Short spans confined to columns 1..12: provably disjoint from the
+  // affected mask around the resegmented right edge, so every cached
+  // entry migrates on every flip.
+  std::mt19937_64 rng(29);
+  std::vector<ConnectionSet> batch;
+  for (int i = 0; i < 24; ++i) {
+    ConnectionSet cs;
+    const Column l = 1 + static_cast<Column>(rng() % 10);
+    cs.add(l, std::min<Column>(12, l + 1 + static_cast<Column>(rng() % 2)));
+    batch.push_back(cs);
+  }
+  engine::BatchOptions ref_opts;
+  ref_opts.use_cache = false;
+  engine::BatchRouter ref1(ch, ref_opts);
+  engine::BatchRouter ref2(ch2, ref_opts);
+  const std::vector<alg::RouteResult> exp1 = ref1.route_many(batch);
+  const std::vector<alg::RouteResult> exp2 = ref2.route_many(batch);
+
+  engine::BatchOptions bo;
+  bo.threads = 4;
+  engine::BatchRouter br(ch, bo);
+  std::mutex quiesce;  // rebind_delta vs invalidate; routes stay lock-free
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> stale{0xdeadbeefdeadbeefull};
+  std::thread editor([&] {
+    while (!done.load()) {
+      const std::lock_guard<std::mutex> lk(quiesce);
+      br.invalidate(stale.load());  // the just-retired fingerprint
+      (void)br.cache_stats();
+      (void)br.shard_stats();
+    }
+  });
+  bool on_ch2 = false;
+  for (int round = 0; round < 10; ++round) {
+    const std::vector<alg::RouteResult> got = br.route_many(batch);
+    const std::vector<alg::RouteResult>& expect = on_ch2 ? exp2 : exp1;
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].success, expect[i].success) << "round " << round;
+      EXPECT_EQ(got[i].routing, expect[i].routing) << "round " << round;
+    }
+    {
+      const std::lock_guard<std::mutex> lk(quiesce);
+      const engine::RebindDelta d = br.rebind_delta(on_ch2 ? ch : ch2);
+      EXPECT_FALSE(d.structural) << "round " << round;
+      EXPECT_GT(d.migrated, 0u) << "round " << round;
+      stale.store(d.old_fingerprint);
+      on_ch2 = !on_ch2;
+    }
+  }
+  done.store(true);
+  editor.join();
+  // Migration kept the disjoint workload warm across every flip.
+  EXPECT_GT(br.cache_stats().hits, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Edit sessions: stateful incremental routing through the service.
+
+TEST(SvcSessions, EditLifecycleIsStatefulAndSnapshotsCanonical) {
+  const SegmentedChannel ch = test_channel();
+  svc::SvcOptions o;
+  svc::RoutingService svc(ch, o);
+  const std::uint64_t sid = svc.open_session("alice");
+  ASSERT_NE(sid, 0u);
+
+  const auto edit = [&](const alg::ChannelEdit& e) {
+    svc::SvcRequest rq;
+    rq.tenant = "alice";
+    rq.session = sid;
+    rq.edit = e;
+    auto fut = svc.submit(std::move(rq));
+    svc.tick();
+    return fut.get();
+  };
+
+  const svc::SvcResponse add = edit(alg::ChannelEdit::add(2, 9));
+  ASSERT_EQ(add.admit, svc::Admit::kAccepted);
+  ASSERT_TRUE(add.result.success) << add.result.note;
+  EXPECT_EQ(add.session, sid);
+  ASSERT_TRUE(add.repair.success);
+  const ConnId id = add.repair.id;
+
+  const svc::SvcResponse mv = edit(alg::ChannelEdit::move(id, 40, 48));
+  ASSERT_TRUE(mv.result.success) << mv.result.note;
+  auto snap = svc.session_snapshot(sid);
+  ASSERT_TRUE(snap.has_value());
+  ASSERT_EQ(snap->first.size(), 1);
+  EXPECT_EQ(snap->first[0].left, 40);
+  EXPECT_EQ(snap->first[0].right, 48);
+  const auto canon = alg::from_scratch(ch, snap->first, true, 0);
+  ASSERT_TRUE(canon.result.success);
+  EXPECT_EQ(canon.result.routing, snap->second);
+
+  const svc::SvcResponse rm = edit(alg::ChannelEdit::remove(id));
+  ASSERT_TRUE(rm.result.success) << rm.result.note;
+  snap = svc.session_snapshot(sid);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->first.size(), 0);
+
+  const svc::SvcStats st = svc.stats();
+  EXPECT_EQ(st.sessions_opened, 1u);
+  EXPECT_EQ(st.sessions_open, 1u);
+  EXPECT_EQ(st.session_edits, 3u);
+  EXPECT_EQ(st.session_repairs + st.session_dp_fallbacks, 3u);
+
+  EXPECT_TRUE(svc.close_session(sid));
+  EXPECT_FALSE(svc.close_session(sid));
+  EXPECT_FALSE(svc.session_snapshot(sid).has_value());
+  EXPECT_EQ(svc.stats().sessions_closed, 1u);
+  EXPECT_EQ(svc.stats().sessions_open, 0u);
+  svc.stop(svc::RoutingService::StopMode::kDrain);
+}
+
+/// Runs one fixed driver-mode schedule mixing batch traffic with edits
+/// on a single session, checks the final session state is canonical,
+/// and returns the digest folded over responses in submission order.
+std::uint64_t run_session_schedule(int threads) {
+  const SegmentedChannel ch = test_channel();
+  svc::SvcOptions o;
+  o.threads = threads;
+  o.queue_capacity = 4096;
+  o.drain_window = 8;
+  svc::RoutingService svc(ch, o);
+  const std::uint64_t sid = svc.open_session("alice");
+  EXPECT_NE(sid, 0u);
+
+  const Workload w = make_workload(ch, 31);
+  std::mt19937_64 rng(515);
+  std::vector<std::future<svc::SvcResponse>> futs;
+  for (int i = 0; i < 60; ++i) {
+    svc::SvcRequest rq;
+    rq.tenant = "alice";
+    if (i % 3 == 0) {
+      rq.connections = w.alice[rng() % w.alice.size()];
+    } else {
+      rq.session = sid;
+      const Column l = 1 + static_cast<Column>(rng() % 64);
+      rq.edit = alg::ChannelEdit::add(
+          l, std::min<Column>(64, l + static_cast<Column>(rng() % 7)));
+    }
+    futs.push_back(svc.submit(std::move(rq)));
+    if (i % 5 == 0) svc.tick();
+  }
+  while (svc.tick() > 0) {
+  }
+  std::uint64_t digest = 1469598103934665603ull;
+  for (auto& f : futs) digest = svc::fold_digest(digest, f.get());
+
+  // The drained session is bit-identical to the canonical from-scratch
+  // route of its live set — thread count never leaks into state.
+  const auto snap = svc.session_snapshot(sid);
+  EXPECT_TRUE(snap.has_value());
+  if (snap) {
+    const auto canon = alg::from_scratch(ch, snap->first, true, 0);
+    EXPECT_TRUE(canon.result.success);
+    EXPECT_EQ(canon.result.routing, snap->second);
+  }
+  svc.stop(svc::RoutingService::StopMode::kDrain);
+  return digest;
+}
+
+TEST(SvcSessions, DigestWithEditTrafficIsThreadCountInvariant) {
+  const std::uint64_t base = run_session_schedule(1);
+  EXPECT_EQ(run_session_schedule(2), base);
+  EXPECT_EQ(run_session_schedule(8), base);
+}
+
+TEST(SvcSessions, UnknownForeignAndClosedSessionsAreRejected) {
+  const SegmentedChannel ch = test_channel();
+  svc::SvcOptions o;
+  svc::RoutingService svc(ch, o);
+  const std::uint64_t sid = svc.open_session("alice");
+  ASSERT_NE(sid, 0u);
+
+  // Unknown session id: typed admission failure, resolved immediately.
+  svc::SvcRequest unknown;
+  unknown.tenant = "alice";
+  unknown.session = sid + 999;
+  unknown.edit = alg::ChannelEdit::add(1, 4);
+  EXPECT_EQ(svc.submit(std::move(unknown)).get().admit, svc::Admit::kInvalid);
+
+  // Right session, wrong tenant: sessions are tenant-scoped.
+  svc::SvcRequest foreign;
+  foreign.tenant = "mallory";
+  foreign.session = sid;
+  foreign.edit = alg::ChannelEdit::add(1, 4);
+  EXPECT_EQ(svc.submit(std::move(foreign)).get().admit, svc::Admit::kInvalid);
+
+  // Admitted while open, but the session closes before the drain: the
+  // edit fails typed instead of touching freed state.
+  svc::SvcRequest late;
+  late.tenant = "alice";
+  late.session = sid;
+  late.edit = alg::ChannelEdit::add(1, 4);
+  auto fut = svc.submit(std::move(late));
+  ASSERT_TRUE(svc.close_session(sid));
+  svc.tick();
+  const svc::SvcResponse r = fut.get();
+  EXPECT_EQ(r.admit, svc::Admit::kAccepted);
+  EXPECT_FALSE(r.result.success);
+  EXPECT_EQ(r.result.failure, alg::FailureKind::kInvalidInput);
+  EXPECT_EQ(svc.stats().session_edit_failures, 1u);
+  svc.stop(svc::RoutingService::StopMode::kDrain);
+}
+
+TEST(SvcSessions, SessionsPinTheirSubstrateAcrossRebind) {
+  const SegmentedChannel ch1 = test_channel();
+  const SegmentedChannel ch2 = gen::staggered_segmentation(8, 64, 6);
+  const std::uint64_t fp1 = ChannelIndex(ch1).fingerprint();
+  svc::SvcOptions o;
+  svc::RoutingService svc(ch1, o);
+  const std::uint64_t sid = svc.open_session("alice");
+  ASSERT_NE(sid, 0u);
+
+  const auto edit = [&](const alg::ChannelEdit& e) {
+    svc::SvcRequest rq;
+    rq.tenant = "alice";
+    rq.session = sid;
+    rq.edit = e;
+    auto fut = svc.submit(std::move(rq));
+    svc.tick();
+    return fut.get();
+  };
+  ASSERT_TRUE(edit(alg::ChannelEdit::add(3, 9)).result.success);
+
+  svc.rebind(ch2);  // flips the batch substrate; the session must not
+  const svc::SvcResponse after = edit(alg::ChannelEdit::add(11, 17));
+  ASSERT_TRUE(after.result.success) << after.result.note;
+  EXPECT_EQ(after.fingerprint, fp1);
+
+  const auto snap = svc.session_snapshot(sid);
+  ASSERT_TRUE(snap.has_value());
+  const auto canon = alg::from_scratch(ch1, snap->first, true, 0);
+  ASSERT_TRUE(canon.result.success);
+  EXPECT_EQ(canon.result.routing, snap->second);
+  svc.stop(svc::RoutingService::StopMode::kDrain);
+}
+
+TEST(SvcSessions, MetricsExposeSessionCounters) {
+  const SegmentedChannel ch = test_channel();
+  svc::SvcOptions o;
+  svc::RoutingService svc(ch, o);
+  const std::uint64_t sid = svc.open_session("alice");
+  ASSERT_NE(sid, 0u);
+  std::vector<std::future<svc::SvcResponse>> futs;
+  for (int i = 0; i < 3; ++i) {
+    svc::SvcRequest rq;
+    rq.tenant = "alice";
+    rq.session = sid;
+    rq.edit = alg::ChannelEdit::add(static_cast<Column>(1 + 5 * i),
+                                    static_cast<Column>(4 + 5 * i));
+    futs.push_back(svc.submit(std::move(rq)));
+  }
+  svc.stop(svc::RoutingService::StopMode::kDrain);
+  for (auto& f : futs) EXPECT_TRUE(f.get().result.success);
+
+  const svc::SvcStats st = svc.stats();
+  EXPECT_EQ(st.session_edits, 3u);
+  EXPECT_EQ(st.sessions_opened, 1u);
+  EXPECT_EQ(st.sessions_closed, 1u);  // stop() retires open sessions
+  EXPECT_EQ(st.sessions_open, 0u);
+
+  const svc::PromText parsed =
+      svc::parse_prometheus_text(obs::Registry::instance().prometheus_text());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_NE(parsed.find("segroute_svc_sessions_open"), nullptr);
+  EXPECT_NE(parsed.find("segroute_svc_sessions_edits"), nullptr);
+  EXPECT_GE(parsed.value_or("segroute_svc_sessions_opened", -1), 1.0);
 }
 
 TEST(SvcMetrics, ExpositionRoundTripsAgainstSnapshot) {
